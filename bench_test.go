@@ -1,0 +1,69 @@
+// Package repro's root benchmarks regenerate every table and figure of
+// the paper through the internal/bench experiment registry — one
+// testing.B benchmark per artifact. Each iteration performs the full
+// (scale-reduced) simulated experiment; reported ns/op is wall time of
+// the simulation, not simulated time (the experiment tables carry the
+// simulated results; run `go run ./cmd/casperbench -run <id>` to see
+// them).
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+)
+
+// benchScale keeps each regeneration fast enough for -bench runs while
+// preserving every experiment's qualitative shape.
+const benchScale = 0.12
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := bench.Get(id)
+	if !ok {
+		b.Fatalf("experiment %q not registered", id)
+	}
+	for i := 0; i < b.N; i++ {
+		res := e.Run(bench.Options{Scale: benchScale, Seed: 42})
+		if len(res.X) == 0 {
+			b.Fatalf("%s: empty result", id)
+		}
+	}
+}
+
+// Table I.
+func BenchmarkTable1Deployments(b *testing.B) { benchExperiment(b, "tab1") }
+
+// Fig. 3: overhead analysis (Section IV-A).
+func BenchmarkFig3aWindowAllocation(b *testing.B) { benchExperiment(b, "fig3a") }
+func BenchmarkFig3bFencePSCW(b *testing.B)        { benchExperiment(b, "fig3b") }
+
+// Fig. 4: asynchronous progress with two processes (Section IV-B-1).
+func BenchmarkFig4aPassiveOverlap(b *testing.B) { benchExperiment(b, "fig4a") }
+func BenchmarkFig4bFenceOverlap(b *testing.B)   { benchExperiment(b, "fig4b") }
+func BenchmarkFig4cInterrupts(b *testing.B)     { benchExperiment(b, "fig4c") }
+
+// Fig. 5: scalability across RMA implementations (Section IV-B-2).
+func BenchmarkFig5aAccumulateCray(b *testing.B)   { benchExperiment(b, "fig5a") }
+func BenchmarkFig5bPutCray(b *testing.B)          { benchExperiment(b, "fig5b") }
+func BenchmarkFig5cAccumulateFusion(b *testing.B) { benchExperiment(b, "fig5c") }
+
+// Fig. 6: static binding load balancing (Section IV-C-1/2).
+func BenchmarkFig6aRankBindingProcs(b *testing.B) { benchExperiment(b, "fig6a") }
+func BenchmarkFig6bRankBindingOps(b *testing.B)   { benchExperiment(b, "fig6b") }
+func BenchmarkFig6cSegmentBinding(b *testing.B)   { benchExperiment(b, "fig6c") }
+
+// Fig. 7: dynamic binding load balancing (Section IV-C-3).
+func BenchmarkFig7aRandom(b *testing.B)       { benchExperiment(b, "fig7a") }
+func BenchmarkFig7bOpCounting(b *testing.B)   { benchExperiment(b, "fig7b") }
+func BenchmarkFig7cByteCounting(b *testing.B) { benchExperiment(b, "fig7c") }
+
+// Fig. 8: NWChem coupled-cluster application (Section IV-D).
+func BenchmarkFig8aCCSDW16(b *testing.B)        { benchExperiment(b, "fig8a") }
+func BenchmarkFig8bCCSDC20(b *testing.B)        { benchExperiment(b, "fig8b") }
+func BenchmarkFig8cTriplesPortion(b *testing.B) { benchExperiment(b, "fig8c") }
+
+// Ablations of the design decisions catalogued in DESIGN.md.
+func BenchmarkAbl1OverlappingWindows(b *testing.B) { benchExperiment(b, "abl1") }
+func BenchmarkAbl2LazyLocks(b *testing.B)          { benchExperiment(b, "abl2") }
+func BenchmarkAbl3SelfOps(b *testing.B)            { benchExperiment(b, "abl3") }

@@ -1,0 +1,60 @@
+// Command casperbench regenerates the tables and figures of the Casper
+// paper (Si et al., IPDPS 2015) from the simulated reproduction.
+//
+// Usage:
+//
+//	casperbench -list
+//	casperbench -run fig4a [-csv] [-scale 0.5] [-seed 7]
+//	casperbench -all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		list  = flag.Bool("list", false, "list available experiments")
+		run   = flag.String("run", "", "experiment id to run (e.g. fig4a)")
+		all   = flag.Bool("all", false, "run every experiment")
+		csv   = flag.Bool("csv", false, "emit CSV instead of an aligned table")
+		scale = flag.Float64("scale", 1.0, "sweep scale factor (smaller = faster)")
+		seed  = flag.Int64("seed", 42, "simulation seed")
+	)
+	flag.Parse()
+
+	switch {
+	case *list:
+		for _, e := range bench.All() {
+			fmt.Printf("%-8s %-12s %s\n", e.ID, e.Figure, e.Title)
+		}
+	case *all:
+		for _, e := range bench.All() {
+			emit(e, bench.Options{Scale: *scale, Seed: *seed}, *csv)
+		}
+	case *run != "":
+		e, ok := bench.Get(*run)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "casperbench: unknown experiment %q (try -list)\n", *run)
+			os.Exit(2)
+		}
+		emit(e, bench.Options{Scale: *scale, Seed: *seed}, *csv)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func emit(e bench.Experiment, o bench.Options, csv bool) {
+	res := e.Run(o)
+	if csv {
+		fmt.Print(res.CSV())
+	} else {
+		fmt.Print(res.Table())
+	}
+	fmt.Println()
+}

@@ -1,0 +1,128 @@
+// Command osubench runs the OSU-style one-sided microbenchmarks
+// (put/get/accumulate latency and bandwidth) over any platform model and
+// progress strategy, including Casper.
+//
+// Usage:
+//
+//	osubench -bench put_latency
+//	osubench -bench acc_latency -casper -ghosts 2
+//	osubench -bench put_bw -platform cray-xc30-dmapp
+//	osubench -bench acc_latency -progress thread
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/mpi"
+	"repro/internal/netmodel"
+	"repro/internal/osu"
+)
+
+func main() {
+	var (
+		benchName = flag.String("bench", "put_latency",
+			"put_latency | get_latency | acc_latency | put_bw | get_bw")
+		platform = flag.String("platform", "cray-xc30", "platform model (see netmodel.Presets)")
+		casper   = flag.Bool("casper", false, "run over Casper")
+		ghosts   = flag.Int("ghosts", 1, "ghost processes per node (with -casper)")
+		progress = flag.String("progress", "none", "none | thread | interrupt")
+		minSize  = flag.Int("min", 8, "smallest message (bytes)")
+		maxSize  = flag.Int("max", 1<<20, "largest message (bytes)")
+		iters    = flag.Int("iters", 16, "iterations per size")
+		window   = flag.Int("window", 32, "ops per flush (bandwidth tests)")
+		seed     = flag.Int64("seed", 7, "simulation seed")
+	)
+	flag.Parse()
+
+	net, ok := netmodel.Presets()[*platform]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "osubench: unknown platform %q\n", *platform)
+		os.Exit(2)
+	}
+	var prog mpi.ProgressMode
+	switch *progress {
+	case "none":
+		prog = mpi.ProgressNone
+	case "thread":
+		prog = mpi.ProgressThread
+	case "interrupt":
+		prog = mpi.ProgressInterrupt
+	default:
+		fmt.Fprintf(os.Stderr, "osubench: unknown progress %q\n", *progress)
+		os.Exit(2)
+	}
+
+	var kind mpi.OpKind
+	bw := false
+	switch *benchName {
+	case "put_latency":
+		kind = mpi.KindPut
+	case "get_latency":
+		kind = mpi.KindGet
+	case "acc_latency":
+		kind = mpi.KindAcc
+	case "put_bw":
+		kind, bw = mpi.KindPut, true
+	case "get_bw":
+		kind, bw = mpi.KindGet, true
+	default:
+		fmt.Fprintf(os.Stderr, "osubench: unknown bench %q\n", *benchName)
+		os.Exit(2)
+	}
+
+	sizes := osu.Sizes(*minSize, *maxSize)
+	var rows []osu.Result
+	body := func(env mpi.Env) {
+		var r []osu.Result
+		if bw {
+			r = osu.Bandwidth(env, kind, sizes, *window, *iters)
+		} else {
+			r = osu.Latency(env, kind, sizes, *iters)
+		}
+		if r != nil {
+			rows = r
+		}
+	}
+
+	ppn := 1
+	if *casper {
+		ppn = 1 + *ghosts
+	}
+	cfg := mpi.Config{
+		Machine:  cluster.Machine{Nodes: 2, CoresPerNode: 24, NUMAPerNode: 2},
+		N:        2 * ppn,
+		PPN:      ppn,
+		Net:      net,
+		Seed:     *seed,
+		Progress: prog,
+	}
+	var err error
+	if *casper {
+		_, err = mpi.Run(cfg, func(r *mpi.Rank) {
+			p, ghost := core.Init(r, core.Config{NumGhosts: *ghosts})
+			if ghost {
+				return
+			}
+			body(p)
+			p.Finalize()
+		})
+	} else {
+		_, err = mpi.Run(cfg, func(r *mpi.Rank) { body(r) })
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "osubench:", err)
+		os.Exit(1)
+	}
+
+	title := fmt.Sprintf("%s on %s (progress=%s casper=%v)",
+		*benchName, *platform, *progress, *casper)
+	if bw {
+		fmt.Print(osu.RenderBandwidth(title, rows))
+	} else {
+		fmt.Print(osu.RenderLatency(title, rows))
+	}
+}

@@ -1,0 +1,92 @@
+// Ccsd runs the NWChem coupled-cluster proxy (Section IV-D) under each
+// of Table I's core deployments and prints the resulting iteration
+// times — the Fig. 8 experiment as a standalone application.
+//
+// Run with:
+//
+//	go run ./examples/ccsd [-nodes 4] [-phase t] [-tile 24]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/mpi"
+	"repro/internal/netmodel"
+	"repro/internal/sim"
+	"repro/internal/tce"
+)
+
+func main() {
+	nodes := flag.Int("nodes", 4, "compute nodes")
+	tile := flag.Int("tile", 24, "tile dimension (doubles)")
+	phaseName := flag.String("phase", "t", "workload phase: ccsd or t")
+	flag.Parse()
+
+	phase := tce.PhaseTriples
+	if *phaseName == "ccsd" {
+		phase = tce.PhaseCCSD
+	}
+	const coresPerNode = 24
+	params := tce.Params{
+		TilesPerDim: 4 * *nodes,
+		TileSize:    *tile,
+		Phase:       phase,
+	}
+
+	fmt.Printf("mini-CCSD %v phase: %d nodes x %d cores, %d tasks of %dx%d tiles\n\n",
+		phase, *nodes, coresPerNode, params.TilesPerDim*params.TilesPerDim, *tile, *tile)
+	tw := tabwriter.NewWriter(os.Stdout, 0, 0, 2, ' ', 0)
+	fmt.Fprintf(tw, "deployment\tcompute cores\tasync cores\titeration\tvs original\n")
+
+	var baseline sim.Duration
+	for _, d := range tce.Deployments(coresPerNode) {
+		elapsed := run(d, *nodes, params)
+		if baseline == 0 {
+			baseline = elapsed
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%v\t%.2fx\n",
+			d.Name, d.UserCores, coresPerNode-d.UserCores, elapsed,
+			float64(baseline)/float64(elapsed))
+	}
+	tw.Flush()
+}
+
+func run(d tce.Deployment, nodes int, p tce.Params) sim.Duration {
+	cfg := mpi.Config{
+		Machine:              cluster.Machine{Nodes: nodes, CoresPerNode: 24, NUMAPerNode: 2},
+		N:                    nodes * d.PPN,
+		PPN:                  d.PPN,
+		Net:                  netmodel.CrayXC30(),
+		Seed:                 1,
+		Progress:             d.Progress,
+		ThreadOversubscribed: d.Oversub,
+	}
+	var maxEl sim.Duration
+	_, err := mpi.Run(cfg, func(r *mpi.Rank) {
+		if d.Ghosts > 0 {
+			cp, ghost := core.Init(r, core.Config{NumGhosts: d.Ghosts})
+			if ghost {
+				return
+			}
+			res := tce.Run(cp, p)
+			if res.Elapsed > maxEl {
+				maxEl = res.Elapsed
+			}
+			cp.Finalize()
+		} else {
+			res := tce.Run(r, p)
+			if res.Elapsed > maxEl {
+				maxEl = res.Elapsed
+			}
+		}
+	})
+	if err != nil {
+		panic(err)
+	}
+	return maxEl
+}

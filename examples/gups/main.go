@@ -1,0 +1,83 @@
+// Gups runs the HPC Challenge RandomAccess benchmark (XOR-accumulate
+// updates to random words of a distributed table) over plain MPI and
+// over Casper with several ghost counts, verifying the final table
+// exactly against a replay of the update streams. Random accumulates
+// are the hardest case for multi-ghost correctness: every update must
+// stay atomic and ordered per element.
+//
+// Run with:
+//
+//	go run ./examples/gups [-words 256] [-updates 2000] [-ranks 8]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/gups"
+	"repro/internal/mpi"
+	"repro/internal/netmodel"
+)
+
+func main() {
+	words := flag.Int("words", 256, "table words per rank")
+	updates := flag.Int("updates", 2000, "updates per rank")
+	ranks := flag.Int("ranks", 8, "user processes")
+	flag.Parse()
+
+	p := gups.Params{WordsPerRank: *words, UpdatesPerRank: *updates, Seed: 17}
+	fmt.Printf("RandomAccess: %d ranks x %d updates into %d words\n\n",
+		*ranks, *updates, *words**ranks)
+	tw := tabwriter.NewWriter(os.Stdout, 0, 0, 2, ' ', 0)
+	fmt.Fprintf(tw, "configuration\telapsed\tMUPS\tverified\n")
+	for _, ghosts := range []int{0, 1, 2, 4} {
+		name := "plain MPI"
+		if ghosts > 0 {
+			name = fmt.Sprintf("casper %dg", ghosts)
+		}
+		res, ok := run(ghosts, *ranks, p)
+		fmt.Fprintf(tw, "%s\t%v\t%.2f\t%v\n", name, res.Elapsed, res.GUPS*1e3, ok)
+	}
+	tw.Flush()
+}
+
+func run(ghosts, ranks int, p gups.Params) (gups.Result, bool) {
+	var res gups.Result
+	ok := false
+	ppn := ranks/2 + ghosts
+	cfg := mpi.Config{
+		Machine: cluster.Machine{Nodes: 2, CoresPerNode: 24, NUMAPerNode: 2},
+		N:       2 * ppn, PPN: ppn, Net: netmodel.CrayXC30(), Seed: 6,
+	}
+	var err error
+	if ghosts > 0 {
+		_, err = mpi.Run(cfg, func(r *mpi.Rank) {
+			cp, ghost := core.Init(r, core.Config{NumGhosts: ghosts})
+			if ghost {
+				return
+			}
+			out, good := gups.RunVerified(cp, p)
+			if cp.Rank() == 0 {
+				res, ok = out, good
+			}
+			cp.Finalize()
+		})
+	} else {
+		plain := cfg
+		plain.N, plain.PPN = ranks, ranks/2
+		_, err = mpi.Run(plain, func(r *mpi.Rank) {
+			out, good := gups.RunVerified(r, p)
+			if r.Rank() == 0 {
+				res, ok = out, good
+			}
+		})
+	}
+	if err != nil {
+		panic(err)
+	}
+	return res, ok
+}

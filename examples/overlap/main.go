@@ -1,0 +1,119 @@
+// Overlap compares all four asynchronous-progress strategies of the
+// paper on the communication/computation overlap microbenchmark of
+// Section IV-B-1: an origin issues accumulates to a target that is busy
+// computing, and we measure how much of the target's compute time leaks
+// into the origin's epoch.
+//
+// Run with:
+//
+//	go run ./examples/overlap [-ops 8] [-wait 200]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/mpi"
+	"repro/internal/netmodel"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+type strategy struct {
+	name    string
+	net     *netmodel.Params
+	prog    mpi.ProgressMode
+	oversub bool
+	ghosts  int
+}
+
+func main() {
+	ops := flag.Int("ops", 8, "accumulates per epoch")
+	wait := flag.Int("wait", 200, "target compute time (us)")
+	flag.Parse()
+
+	strategies := []strategy{
+		{name: "Original MPI", net: netmodel.CrayXC30(), prog: mpi.ProgressNone},
+		{name: "Thread (dedicated)", net: netmodel.CrayXC30(), prog: mpi.ProgressThread},
+		{name: "Thread (oversubscribed)", net: netmodel.CrayXC30(), prog: mpi.ProgressThread, oversub: true},
+		{name: "Interrupt (DMAPP)", net: netmodel.CrayXC30DMAPP(), prog: mpi.ProgressInterrupt},
+		{name: "Casper (1 ghost)", net: netmodel.CrayXC30(), prog: mpi.ProgressNone, ghosts: 1},
+		{name: "Casper (2 ghosts)", net: netmodel.CrayXC30(), prog: mpi.ProgressNone, ghosts: 2},
+	}
+
+	fmt.Printf("origin: lockall, %d accumulates, unlockall;  target: %dus compute\n\n",
+		*ops, *wait)
+	tw := tabwriter.NewWriter(os.Stdout, 0, 0, 2, ' ', 0)
+	fmt.Fprintf(tw, "strategy\torigin epoch\ttarget compute\tinterrupts\tprogress stall\tserviced by\n")
+	for _, s := range strategies {
+		epoch, compute, interrupts, stall, by := measure(s, *ops, sim.Microseconds(float64(*wait)))
+		fmt.Fprintf(tw, "%s\t%v\t%v\t%d\t%v\t%s\n", s.name, epoch, compute, interrupts, stall, by)
+	}
+	tw.Flush()
+	fmt.Println("\n(progress stall = total time accumulates waited between NIC arrival and service)")
+}
+
+func measure(s strategy, ops int, wait sim.Duration) (epoch, compute sim.Duration, interrupts int64, stall sim.Duration, servicedBy string) {
+	body := func(env mpi.Env) {
+		c := env.CommWorld()
+		win, _ := env.WinAllocate(c, 64, nil)
+		c.Barrier()
+		if env.Rank() == 0 {
+			start := env.Now()
+			win.LockAll(mpi.AssertNone)
+			one := mpi.PutFloat64s([]float64{1})
+			for i := 0; i < ops; i++ {
+				win.Accumulate(one, 1, 0, mpi.Scalar(mpi.Float64), mpi.OpSum)
+			}
+			win.UnlockAll()
+			epoch = env.Now().Sub(start)
+		} else if env.Rank() == 1 {
+			start := env.Now()
+			env.Compute(wait)
+			compute = env.Now().Sub(start)
+		}
+		c.Barrier()
+	}
+	ppn := 1 + s.ghosts
+	cfg := mpi.Config{
+		Machine:              cluster.Machine{Nodes: 2, CoresPerNode: 24, NUMAPerNode: 2},
+		N:                    2 * ppn,
+		PPN:                  ppn,
+		Net:                  s.net,
+		Seed:                 1,
+		Progress:             s.prog,
+		ThreadOversubscribed: s.oversub,
+	}
+	w, err := mpi.NewWorld(cfg)
+	if err != nil {
+		panic(err)
+	}
+	tr := trace.New()
+	w.SetTracer(tr)
+	w.Launch(func(r *mpi.Rank) {
+		if s.ghosts > 0 {
+			p, ghost := core.Init(r, core.Config{NumGhosts: s.ghosts})
+			if ghost {
+				return
+			}
+			body(p)
+			p.Finalize()
+		} else {
+			body(r)
+		}
+	})
+	if err := w.Run(); err != nil {
+		panic(err)
+	}
+	for i := 0; i < w.Config().N; i++ {
+		interrupts += w.RankByID(i).Stats().Interrupts
+	}
+	stall = tr.TotalDelay()
+	busiest, ams := w.BusiestRank()
+	servicedBy = fmt.Sprintf("rank %d (%d AMs)", busiest, ams)
+	return epoch, compute, interrupts, stall, servicedBy
+}

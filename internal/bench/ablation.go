@@ -1,0 +1,199 @@
+package bench
+
+import (
+	"repro/internal/core"
+	"repro/internal/mpi"
+	"repro/internal/netmodel"
+	"repro/internal/sim"
+)
+
+// Ablation experiments: each isolates one design decision called out in
+// DESIGN.md and measures the system with the mechanism on and off.
+
+func init() {
+	register(Experiment{
+		ID:     "abl1",
+		Figure: "ablation (III-A)",
+		Title:  "Per-user overlapping windows vs. one shared lock window",
+		Run:    runAbl1,
+	})
+	register(Experiment{
+		ID:     "abl2",
+		Figure: "ablation (III-B)",
+		Title:  "Lazy vs. eager lock acquisition",
+		Run:    runAbl2,
+	})
+	register(Experiment{
+		ID:     "abl3",
+		Figure: "ablation (III-D)",
+		Title:  "Self put/get: shared-memory local vs. ghost redirection",
+		Run:    runAbl3,
+	})
+}
+
+// runAbl1 measures the serialization the overlapping windows avoid:
+// several origins hold exclusive locks on *different* user processes of
+// one node — legal MPI, concurrent with per-user windows, serialized
+// when everything funnels through one window to the same ghost.
+func runAbl1(o Options) *Result {
+	o = o.withDefaults()
+	maxOrigins := o.scaleInt(6, 3)
+	var xs []int
+	for k := 1; k <= maxOrigins; k++ {
+		xs = append(xs, k)
+	}
+	res := &Result{
+		ID: "abl1", Title: "concurrent exclusive epochs to distinct co-located targets",
+		XLabel: "origins", YLabel: "ms",
+		Notes: []string{"each origin exclusively locks its own target on one 8-user node"},
+	}
+	res.X = toF(xs)
+
+	measure := func(unsafeShared bool, k int) float64 {
+		const usersPerNode = 8
+		var maxEl sim.Duration
+		ppn := usersPerNode + 1
+		cfg := worldConfig(netmodel.CrayXC30(), 2*ppn, ppn, mpi.ProgressNone, false, o.Seed)
+		ccfg := core.Config{NumGhosts: 1, UnsafeSharedLockWindow: unsafeShared}
+		runCasper(cfg, ccfg, func(env mpi.Env) {
+			c := env.CommWorld()
+			win, _ := env.WinAllocate(c, 4096, nil)
+			c.Barrier()
+			start := env.Now()
+			// Origins are node 1's users (ranks 8..8+k); targets are
+			// node 0's users, one per origin.
+			if env.Rank() >= usersPerNode && env.Rank() < usersPerNode+k {
+				target := env.Rank() - usersPerNode
+				win.Lock(target, mpi.LockExclusive, mpi.AssertNone)
+				for i := 0; i < 16; i++ {
+					win.Accumulate(mpi.PutFloat64s([]float64{1}), target, 0,
+						mpi.Scalar(mpi.Float64), mpi.OpSum)
+				}
+				win.Flush(target) // forces acquisition: the contention point
+				win.Unlock(target)
+			}
+			c.Barrier()
+			if el := env.Now().Sub(start); el > maxEl {
+				maxEl = el
+			}
+		})
+		return maxEl.Millis()
+	}
+
+	var overlap, shared, slowdown []float64
+	for _, k := range xs {
+		a := measure(false, k)
+		b := measure(true, k)
+		overlap, shared = append(overlap, a), append(shared, b)
+		slowdown = append(slowdown, b/a)
+	}
+	res.Series = []Series{
+		{Name: "Overlapping windows", Y: overlap},
+		{Name: "Single shared window", Y: shared},
+		{Name: "Serialization factor", Y: slowdown},
+	}
+	return res
+}
+
+// runAbl2 compares lazy lock acquisition (acquire at first op/flush)
+// with eager acquisition (acquire at MPI_WIN_LOCK): lazy epochs that
+// issue no operation cost nothing, which is why implementations — and
+// Casper's lockall translation — rely on it.
+func runAbl2(o Options) *Result {
+	o = o.withDefaults()
+	xs := []int{0, 1, 2, 4, 8, 16}
+	res := &Result{
+		ID: "abl2", Title: "lock-put^n-unlock epoch cost",
+		XLabel: "operations", YLabel: "us",
+	}
+	res.X = toF(xs)
+
+	measure := func(lazy bool, n int) float64 {
+		net := netmodel.CrayXC30()
+		net.LockLazy = lazy
+		var el sim.Duration
+		cfg := worldConfig(net, 2, 1, mpi.ProgressNone, false, o.Seed)
+		runPlain(cfg, func(env mpi.Env) {
+			c := env.CommWorld()
+			win, _ := env.WinAllocate(c, 64, nil)
+			c.Barrier()
+			if env.Rank() == 0 {
+				start := env.Now()
+				for iter := 0; iter < 8; iter++ {
+					win.Lock(1, mpi.LockShared, mpi.AssertNone)
+					for i := 0; i < n; i++ {
+						win.Put(mpi.PutFloat64s([]float64{1}), 1, 0, mpi.Scalar(mpi.Float64))
+					}
+					win.Unlock(1)
+				}
+				el = env.Now().Sub(start)
+			}
+			c.Barrier()
+		})
+		return el.Micros() / 8
+	}
+
+	var lazy, eager []float64
+	for _, n := range xs {
+		lazy = append(lazy, measure(true, n))
+		eager = append(eager, measure(false, n))
+	}
+	res.Series = []Series{
+		{Name: "Lazy acquisition", Y: lazy},
+		{Name: "Eager acquisition", Y: eager},
+	}
+	return res
+}
+
+// runAbl3 measures the self-operation optimization: put/get to the
+// calling process through the shared segment vs. redirected through the
+// node's ghost.
+func runAbl3(o Options) *Result {
+	o = o.withDefaults()
+	xs := pow2Sweep(8, o.scaleInt(65536, 8192))
+	res := &Result{
+		ID: "abl3", Title: "self put+get round trip",
+		XLabel: "bytes", YLabel: "us",
+	}
+	res.X = toF(xs)
+
+	measure := func(local bool, size int) float64 {
+		var el sim.Duration
+		ppn := 2
+		cfg := worldConfig(netmodel.CrayXC30(), 2*ppn, ppn, mpi.ProgressNone, false, o.Seed)
+		ccfg := core.Config{NumGhosts: 1, SelfOpLocal: local}
+		runCasper(cfg, ccfg, func(env mpi.Env) {
+			c := env.CommWorld()
+			win, _ := env.WinAllocate(c, 1<<17, nil)
+			c.Barrier()
+			if env.Rank() == 0 {
+				data := make([]byte, size)
+				start := env.Now()
+				win.LockAll(mpi.AssertNone)
+				for i := 0; i < 8; i++ {
+					win.Put(data, 0, 0, mpi.TypeOf(mpi.Byte, size))
+					win.Get(data, 0, 0, mpi.TypeOf(mpi.Byte, size))
+				}
+				win.FlushAll()
+				win.UnlockAll()
+				el = env.Now().Sub(start)
+			}
+			c.Barrier()
+		})
+		return el.Micros() / 8
+	}
+
+	var local, redirected, speedup []float64
+	for _, size := range xs {
+		a := measure(true, size)
+		b := measure(false, size)
+		local, redirected = append(local, a), append(redirected, b)
+		speedup = append(speedup, b/a)
+	}
+	res.Series = []Series{
+		{Name: "Self ops local", Y: local},
+		{Name: "Redirected to ghost", Y: redirected},
+		{Name: "Speedup", Y: speedup},
+	}
+	return res
+}

@@ -1,0 +1,399 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/mpi"
+	"repro/internal/netmodel"
+	"repro/internal/sim"
+)
+
+// runBound runs a workload over Casper with the given binding/balancing
+// configuration (or plain MPI when ghosts == 0) and returns the maximum
+// rank time in milliseconds.
+func runBound(ghosts, users, usersPerNode int, binding core.Binding,
+	lb core.LoadBalance, seed int64, work func(env mpi.Env, win mpi.Window, size int)) float64 {
+	var maxEl sim.Duration
+	winSize := 4096
+	body := func(env mpi.Env) {
+		c := env.CommWorld()
+		win, _ := env.WinAllocate(c, winSize, nil)
+		c.Barrier()
+		start := env.Now()
+		work(env, win, winSize)
+		c.Barrier()
+		if el := env.Now().Sub(start); el > maxEl {
+			maxEl = el
+		}
+	}
+	if ghosts == 0 {
+		cfg := worldConfig(netmodel.CrayXC30(), users, usersPerNode, mpi.ProgressNone, false, seed)
+		runPlain(cfg, body)
+		return maxEl.Millis()
+	}
+	ppn := usersPerNode + ghosts
+	nodes := (users + usersPerNode - 1) / usersPerNode
+	cfg := worldConfig(netmodel.CrayXC30(), nodes*ppn, ppn, mpi.ProgressNone, false, seed)
+	runCasper(cfg, core.Config{NumGhosts: ghosts, Binding: binding, LoadBalance: lb}, body)
+	return maxEl.Millis()
+}
+
+// allAcc issues n accumulates to every other process under lockall.
+func allAcc(env mpi.Env, win mpi.Window, n int) {
+	one := mpi.PutFloat64s([]float64{1})
+	win.LockAll(mpi.AssertNone)
+	for t := 0; t < env.Size(); t++ {
+		if t == env.Rank() {
+			continue
+		}
+		for i := 0; i < n; i++ {
+			win.Accumulate(one, t, 0, mpi.Scalar(mpi.Float64), mpi.OpSum)
+		}
+	}
+	win.UnlockAll()
+}
+
+// --- Fig. 6(a): static rank binding, increasing processes ---------------
+
+func init() {
+	register(Experiment{
+		ID:     "fig6a",
+		Figure: "Fig. 6(a)",
+		Title:  "Static rank binding: increasing processes (16 users/node)",
+		Run:    runFig6a,
+	})
+	register(Experiment{
+		ID:     "fig6b",
+		Figure: "Fig. 6(b)",
+		Title:  "Static rank binding: increasing operations (32 user processes)",
+		Run:    runFig6b,
+	})
+	register(Experiment{
+		ID:     "fig6c",
+		Figure: "Fig. 6(c)",
+		Title:  "Static segment binding: uneven window sizes",
+		Run:    runFig6c,
+	})
+}
+
+// ghostSweep adds Original MPI plus Casper with 2/4/8 ghosts. Speedup
+// columns are relative to the 2-ghost configuration, showing how added
+// ghost service capacity absorbs the growing software-RMA load (the
+// point of Fig. 6: "configurations with larger numbers of ghost
+// processes tend to perform better").
+func ghostSweep(res *Result, xs []int,
+	measure func(ghosts, x int) float64) {
+	ghostCounts := []int{2, 4, 8}
+	orig := make([]float64, len(xs))
+	for i, x := range xs {
+		orig[i] = measure(0, x)
+	}
+	res.Series = append(res.Series, Series{Name: "Original MPI", Y: orig})
+	var base []float64
+	for _, g := range ghostCounts {
+		ys := make([]float64, len(xs))
+		sp := make([]float64, len(xs))
+		for i, x := range xs {
+			ys[i] = measure(g, x)
+		}
+		if base == nil {
+			base = ys
+		}
+		for i := range xs {
+			sp[i] = base[i] / ys[i]
+		}
+		res.Series = append(res.Series,
+			Series{Name: fmt.Sprintf("Casper (%d Ghosts)", g), Y: ys},
+			Series{Name: fmt.Sprintf("Speedup (%dG vs 2G)", g), Y: sp})
+	}
+}
+
+func runFig6a(o Options) *Result {
+	o = o.withDefaults()
+	var xs []int
+	for p := 32; p <= o.scaleInt(256, 64); p *= 2 {
+		xs = append(xs, p)
+	}
+	res := &Result{
+		ID: "fig6a", Title: "one accumulate from every process to every other",
+		XLabel: "user_processes", YLabel: "ms",
+		Notes: []string{"16 user processes per node; rank binding"},
+	}
+	res.X = toF(xs)
+	ghostSweep(res, xs, func(g, procs int) float64 {
+		return runBound(g, procs, 16, core.BindRank, core.LBStatic, o.Seed,
+			func(env mpi.Env, win mpi.Window, _ int) { allAcc(env, win, 1) })
+	})
+	return res
+}
+
+func runFig6b(o Options) *Result {
+	o = o.withDefaults()
+	xs := pow2Sweep(1, o.scaleInt(512, 64))
+	res := &Result{
+		ID: "fig6b", Title: "increasing accumulates per pair, 32 user processes",
+		XLabel: "operations", YLabel: "ms",
+		Notes: []string{"2 nodes x 16 users; rank binding"},
+	}
+	res.X = toF(xs)
+	ghostSweep(res, xs, func(g, n int) float64 {
+		return runBound(g, 32, 16, core.BindRank, core.LBStatic, o.Seed,
+			func(env mpi.Env, win mpi.Window, _ int) { allAcc(env, win, n) })
+	})
+	return res
+}
+
+// unevenAcc sends n accumulates to each process with node-local index 0
+// and one to every other process; rank-0 processes expose a large
+// window, others 16 bytes (the Fig. 6(c) pattern).
+func runFig6c(o Options) *Result {
+	o = o.withDefaults()
+	xs := pow2Sweep(1, o.scaleInt(512, 64))
+	const usersPerNode = 16
+	const nodes = 4
+	users := usersPerNode * nodes
+	res := &Result{
+		ID: "fig6c", Title: "uneven windows: 4KB on local rank 0, 16B elsewhere",
+		XLabel: "operations", YLabel: "ms",
+		Notes: []string{fmt.Sprintf("%d nodes x %d users; segment binding", nodes, usersPerNode)},
+	}
+	res.X = toF(xs)
+
+	measure := func(g, n int) float64 {
+		var maxEl sim.Duration
+		body := func(env mpi.Env) {
+			c := env.CommWorld()
+			size := 16
+			if env.Rank()%usersPerNode == 0 {
+				size = 4096
+			}
+			win, _ := env.WinAllocate(c, size, nil)
+			c.Barrier()
+			start := env.Now()
+			one := mpi.PutFloat64s([]float64{1})
+			big := mpi.PutFloat64s(make([]float64, 64)) // 512B accumulate into the 4KB window
+			win.LockAll(mpi.AssertNone)
+			for t := 0; t < env.Size(); t++ {
+				if t == env.Rank() {
+					continue
+				}
+				if t%usersPerNode == 0 {
+					for i := 0; i < n; i++ {
+						// Walk the whole 4KB window so the load spreads
+						// over every memory segment (and therefore over
+						// every ghost under segment binding).
+						disp := (i % 8) * 512
+						win.Accumulate(big, t, disp, mpi.TypeOf(mpi.Float64, 64), mpi.OpSum)
+					}
+				} else {
+					win.Accumulate(one, t, 0, mpi.Scalar(mpi.Float64), mpi.OpSum)
+				}
+			}
+			win.UnlockAll()
+			c.Barrier()
+			if el := env.Now().Sub(start); el > maxEl {
+				maxEl = el
+			}
+		}
+		if g == 0 {
+			cfg := worldConfig(netmodel.CrayXC30(), users, usersPerNode, mpi.ProgressNone, false, o.Seed)
+			runPlain(cfg, body)
+		} else {
+			ppn := usersPerNode + g
+			cfg := worldConfig(netmodel.CrayXC30(), nodes*ppn, ppn, mpi.ProgressNone, false, o.Seed)
+			runCasper(cfg, core.Config{NumGhosts: g, Binding: core.BindSegment}, body)
+		}
+		return maxEl.Millis()
+	}
+	ghostSweep(res, xs, measure)
+	return res
+}
+
+// --- Fig. 7: dynamic load balancing --------------------------------------
+
+func init() {
+	register(Experiment{
+		ID:     "fig7a",
+		Figure: "Fig. 7(a)",
+		Title:  "Dynamic binding: random balancing of uneven PUTs",
+		Run:    runFig7a,
+	})
+	register(Experiment{
+		ID:     "fig7b",
+		Figure: "Fig. 7(b)",
+		Title:  "Dynamic binding: op-counting with mixed PUT/ACC",
+		Run:    runFig7b,
+	})
+	register(Experiment{
+		ID:     "fig7c",
+		Figure: "Fig. 7(c)",
+		Title:  "Dynamic binding: byte-counting with uneven sizes",
+		Run:    runFig7c,
+	})
+}
+
+// fig7 fixed deployment: 2 nodes x 20 users + 4 ghosts (the paper uses
+// 16 nodes; node count scales down, the contention shape is per node).
+const (
+	fig7Nodes = 2
+	fig7Users = 20
+	fig7Gh    = 4
+)
+
+// runFig7 measures one balancing policy on the uneven workload.
+func runFig7(policy core.LoadBalance, original bool, seed int64,
+	work func(env mpi.Env, win mpi.Window)) float64 {
+	var maxEl sim.Duration
+	body := func(env mpi.Env) {
+		c := env.CommWorld()
+		win, _ := env.WinAllocate(c, 1<<17, nil)
+		c.Barrier()
+		start := env.Now()
+		work(env, win)
+		c.Barrier()
+		if el := env.Now().Sub(start); el > maxEl {
+			maxEl = el
+		}
+	}
+	if original {
+		cfg := worldConfig(netmodel.CrayXC30(), fig7Nodes*fig7Users, fig7Users,
+			mpi.ProgressNone, false, seed)
+		runPlain(cfg, body)
+	} else {
+		ppn := fig7Users + fig7Gh
+		cfg := worldConfig(netmodel.CrayXC30(), fig7Nodes*ppn, ppn,
+			mpi.ProgressNone, false, seed)
+		runCasper(cfg, core.Config{NumGhosts: fig7Gh, LoadBalance: policy}, body)
+	}
+	return maxEl.Millis()
+}
+
+// unevenWork builds the Fig. 7 pattern: under lockall, one op to every
+// target then a flush (opening the static-binding-free interval), then
+// extra traffic concentrated on each node's local rank 0.
+func unevenWork(nPut, nAcc, sizeDoubles int) func(env mpi.Env, win mpi.Window) {
+	return func(env mpi.Env, win mpi.Window) {
+		one := mpi.PutFloat64s([]float64{1})
+		payload := mpi.PutFloat64s(make([]float64, sizeDoubles))
+		dt := mpi.TypeOf(mpi.Float64, sizeDoubles)
+		win.LockAll(mpi.AssertNone)
+		for t := 0; t < env.Size(); t++ {
+			if t != env.Rank() {
+				win.Put(one, t, 0, mpi.Scalar(mpi.Float64))
+				win.Flush(t)
+			}
+		}
+		for t := 0; t < env.Size(); t++ {
+			if t == env.Rank() {
+				continue
+			}
+			if t%fig7Users == 0 { // each node's first user rank
+				for i := 0; i < nAcc; i++ {
+					win.Accumulate(payload, t, 0, dt, mpi.OpSum)
+				}
+				for i := 0; i < nPut; i++ {
+					win.Put(payload, t, 0, dt)
+				}
+			} else {
+				if nAcc > 0 {
+					win.Accumulate(one, t, 0, mpi.Scalar(mpi.Float64), mpi.OpSum)
+				}
+				win.Put(one, t, 0, mpi.Scalar(mpi.Float64))
+			}
+		}
+		win.UnlockAll()
+	}
+}
+
+func runFig7a(o Options) *Result {
+	o = o.withDefaults()
+	xs := pow2Sweep(2, o.scaleInt(512, 64))
+	res := &Result{
+		ID: "fig7a", Title: "uneven PUT counts to each node's local rank 0",
+		XLabel: "puts_to_rank0", YLabel: "ms",
+		Notes: []string{fmt.Sprintf("%d nodes x %d users + %d ghosts", fig7Nodes, fig7Users, fig7Gh)},
+	}
+	res.X = toF(xs)
+	var orig, static, random, spS, spR []float64
+	for _, n := range xs {
+		w := unevenWork(n, 0, 1)
+		a := runFig7(core.LBStatic, true, o.Seed, w)
+		b := runFig7(core.LBStatic, false, o.Seed, w)
+		c := runFig7(core.LBRandom, false, o.Seed, w)
+		orig, static, random = append(orig, a), append(static, b), append(random, c)
+		spS = append(spS, b/c) // random speedup over static
+		spR = append(spR, a/c)
+	}
+	res.Series = []Series{
+		{Name: "Original MPI", Y: orig},
+		{Name: "Static", Y: static},
+		{Name: "Random", Y: random},
+		{Name: "Random/Static speedup", Y: spS},
+		{Name: "Random/Original speedup", Y: spR},
+	}
+	return res
+}
+
+func runFig7b(o Options) *Result {
+	o = o.withDefaults()
+	xs := pow2Sweep(2, o.scaleInt(512, 64))
+	res := &Result{
+		ID: "fig7b", Title: "uneven PUT+ACC counts to each node's local rank 0",
+		XLabel: "ops_to_rank0", YLabel: "ms",
+	}
+	res.X = toF(xs)
+	var orig, static, random, opc, spOp []float64
+	for _, n := range xs {
+		w := unevenWork(n, n, 1)
+		a := runFig7(core.LBStatic, true, o.Seed, w)
+		b := runFig7(core.LBStatic, false, o.Seed, w)
+		c := runFig7(core.LBRandom, false, o.Seed, w)
+		d := runFig7(core.LBOpCounting, false, o.Seed, w)
+		orig, static, random, opc = append(orig, a), append(static, b),
+			append(random, c), append(opc, d)
+		spOp = append(spOp, c/d) // op-counting speedup over random
+	}
+	res.Series = []Series{
+		{Name: "Original MPI", Y: orig},
+		{Name: "Static", Y: static},
+		{Name: "Random", Y: random},
+		{Name: "OP-counting", Y: opc},
+		{Name: "OP/Random speedup", Y: spOp},
+	}
+	return res
+}
+
+func runFig7c(o Options) *Result {
+	o = o.withDefaults()
+	// Quadrupling byte sizes: the byte-counting advantage only appears
+	// once per-byte processing dominates the per-message base cost.
+	var xs []int
+	for v := 64; v <= o.scaleInt(65536, 16384); v *= 4 {
+		xs = append(xs, v)
+	}
+	res := &Result{
+		ID: "fig7c", Title: "uneven PUT/ACC sizes to each node's local rank 0",
+		XLabel: "bytes", YLabel: "ms",
+	}
+	res.X = toF(xs)
+	var orig, static, random, opc, byc []float64
+	for _, sz := range xs {
+		w := unevenWork(4, 4, sz/8)
+		a := runFig7(core.LBStatic, true, o.Seed, w)
+		b := runFig7(core.LBStatic, false, o.Seed, w)
+		c := runFig7(core.LBRandom, false, o.Seed, w)
+		d := runFig7(core.LBOpCounting, false, o.Seed, w)
+		e := runFig7(core.LBByteCounting, false, o.Seed, w)
+		orig, static, random = append(orig, a), append(static, b), append(random, c)
+		opc, byc = append(opc, d), append(byc, e)
+	}
+	res.Series = []Series{
+		{Name: "Original MPI", Y: orig},
+		{Name: "Static", Y: static},
+		{Name: "Random", Y: random},
+		{Name: "OP-counting", Y: opc},
+		{Name: "Byte-counting", Y: byc},
+	}
+	return res
+}

@@ -1,0 +1,378 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/mpi"
+	"repro/internal/netmodel"
+	"repro/internal/sim"
+)
+
+// approach is one asynchronous-progress strategy under comparison.
+type approach struct {
+	name    string
+	net     func() *netmodel.Params
+	prog    mpi.ProgressMode
+	oversub bool
+	ghosts  int // per node; 0 = no Casper
+}
+
+func origMPI() approach {
+	return approach{name: "Original MPI", net: netmodel.CrayXC30, prog: mpi.ProgressNone}
+}
+func threadAp() approach {
+	return approach{name: "Thread", net: netmodel.CrayXC30, prog: mpi.ProgressThread}
+}
+func dmappAp() approach {
+	return approach{name: "DMAPP", net: netmodel.CrayXC30DMAPP, prog: mpi.ProgressInterrupt}
+}
+func casperAp(g int) approach {
+	return approach{name: "Casper", net: netmodel.CrayXC30, prog: mpi.ProgressNone, ghosts: g}
+}
+
+// run2 runs a two-user-process microbenchmark (one user process per
+// node, as in Section IV-B) and returns the origin's measured epoch time
+// in microseconds. The workload functions receive a 64 KiB window.
+func run2(a approach, seed int64,
+	origin func(env mpi.Env, win mpi.Window),
+	target func(env mpi.Env, win mpi.Window)) (float64, *mpi.World) {
+	const winBytes = 64 << 10
+	var elapsed sim.Duration
+	body := func(env mpi.Env) {
+		c := env.CommWorld()
+		win, _ := env.WinAllocate(c, winBytes, nil)
+		c.Barrier()
+		start := env.Now()
+		if env.Rank() == 0 {
+			origin(env, win)
+			elapsed = env.Now().Sub(start)
+		} else {
+			target(env, win)
+		}
+		c.Barrier()
+	}
+	var w *mpi.World
+	if a.ghosts > 0 {
+		ppn := 1 + a.ghosts
+		cfg := worldConfig(a.net(), 2*ppn, ppn, a.prog, a.oversub, seed)
+		w = runCasper(cfg, core.Config{NumGhosts: a.ghosts}, body)
+	} else {
+		cfg := worldConfig(a.net(), 2, 1, a.prog, a.oversub, seed)
+		w = runPlain(cfg, body)
+	}
+	return elapsed.Micros(), w
+}
+
+func accOnce(win mpi.Window, target, n int) {
+	one := mpi.PutFloat64s([]float64{1})
+	for i := 0; i < n; i++ {
+		win.Accumulate(one, target, 0, mpi.Scalar(mpi.Float64), mpi.OpSum)
+	}
+}
+
+// --- Fig. 3(a): window allocation overhead -----------------------------
+
+func init() {
+	register(Experiment{
+		ID:     "fig3a",
+		Figure: "Fig. 3(a)",
+		Title:  "Window allocation overhead vs. local processes (Cray XC30, 1 node)",
+		Run:    runFig3a,
+	})
+}
+
+func runFig3a(o Options) *Result {
+	o = o.withDefaults()
+	maxLocal := o.scaleInt(22, 6)
+	var xs []int
+	for v := 2; v <= maxLocal; v += 4 {
+		xs = append(xs, v)
+	}
+	res := &Result{
+		ID: "fig3a", Title: "MPI_WIN_ALLOCATE time on a user process",
+		XLabel: "local_procs", YLabel: "us",
+		Notes: []string{"Casper uses one additional ghost process per node"},
+	}
+	res.X = toF(xs)
+	configs := []struct {
+		name string
+		info mpi.Info
+	}{
+		{"Original MPI", nil},
+		{"Casper (default)", nil},
+		{"Casper (lock)", mpi.Info{core.InfoEpochsUsed: "lock"}},
+		{"Casper (lockall)", mpi.Info{core.InfoEpochsUsed: "lockall"}},
+		{"Casper (fence)", mpi.Info{core.InfoEpochsUsed: "fence"}},
+	}
+	series := make([]Series, len(configs))
+	for ci := range configs {
+		series[ci].Name = configs[ci].name
+	}
+	for _, n := range xs {
+		for ci, cfg := range configs {
+			var el sim.Duration
+			body := func(env mpi.Env) {
+				c := env.CommWorld()
+				start := env.Now()
+				env.WinAllocate(c, 4096, cfg.info)
+				if env.Rank() == 0 {
+					el = env.Now().Sub(start)
+				}
+				c.Barrier()
+			}
+			if ci == 0 {
+				runPlain(worldConfig(netmodel.CrayXC30(), n, n, mpi.ProgressNone, false, o.Seed), body)
+			} else {
+				mcfg := worldConfig(netmodel.CrayXC30(), n+1, n+1, mpi.ProgressNone, false, o.Seed)
+				runCasper(mcfg, core.Config{NumGhosts: 1}, body)
+			}
+			series[ci].Y = append(series[ci].Y, el.Micros())
+		}
+	}
+	res.Series = series
+	return res
+}
+
+// --- Fig. 3(b): fence and PSCW overhead --------------------------------
+
+func init() {
+	register(Experiment{
+		ID:     "fig3b",
+		Figure: "Fig. 3(b)",
+		Title:  "Fence and PSCW translation overhead vs. operation count",
+		Run:    runFig3b,
+	})
+}
+
+func runFig3b(o Options) *Result {
+	o = o.withDefaults()
+	ops := pow2Sweep(2, o.scaleInt(4096, 64))
+	res := &Result{
+		ID: "fig3b", Title: "Active-target epoch time on rank 0 (2 processes)",
+		XLabel: "operations", YLabel: "us",
+	}
+	res.X = toF(ops)
+	fence := func(a approach, n int) float64 {
+		t, _ := run2(a, o.Seed, func(env mpi.Env, win mpi.Window) {
+			win.Fence(mpi.ModeNoPrecede)
+			accOnce(win, 1, n)
+			win.Fence(mpi.ModeNoSucceed)
+		}, func(env mpi.Env, win mpi.Window) {
+			win.Fence(mpi.ModeNoPrecede)
+			win.Fence(mpi.ModeNoSucceed)
+		})
+		return t
+	}
+	pscw := func(a approach, n int) float64 {
+		t, _ := run2(a, o.Seed, func(env mpi.Env, win mpi.Window) {
+			win.Start([]int{1}, mpi.AssertNone)
+			accOnce(win, 1, n)
+			win.Complete()
+		}, func(env mpi.Env, win mpi.Window) {
+			win.Post([]int{0}, mpi.AssertNone)
+			win.Wait()
+		})
+		return t
+	}
+	var of, cf, op, cp, ovF, ovP []float64
+	for _, n := range ops {
+		a := fence(origMPI(), n)
+		b := fence(casperAp(1), n)
+		c := pscw(origMPI(), n)
+		d := pscw(casperAp(1), n)
+		of, cf = append(of, a), append(cf, b)
+		op, cp = append(op, c), append(cp, d)
+		ovF = append(ovF, 100*(b-a)/a)
+		ovP = append(ovP, 100*(d-c)/c)
+	}
+	res.Series = []Series{
+		{Name: "Original Fence", Y: of},
+		{Name: "Casper Fence", Y: cf},
+		{Name: "Original PSCW", Y: op},
+		{Name: "Casper PSCW", Y: cp},
+		{Name: "Fence overhead %", Y: ovF},
+		{Name: "PSCW overhead %", Y: ovP},
+	}
+	return res
+}
+
+// --- Fig. 4(a): passive-target overlap ----------------------------------
+
+func init() {
+	register(Experiment{
+		ID:     "fig4a",
+		Figure: "Fig. 4(a)",
+		Title:  "Passive-target RMA overlap: origin time vs. target wait time",
+		Run:    runFig4a,
+	})
+}
+
+func runFig4a(o Options) *Result {
+	o = o.withDefaults()
+	waits := pow2Sweep(1, o.scaleInt(128, 16))
+	res := &Result{
+		ID: "fig4a", Title: "lockall-accumulate-unlockall while the target computes",
+		XLabel: "wait_us", YLabel: "us",
+	}
+	res.X = toF(waits)
+	approaches := []approach{origMPI(), threadAp(), dmappAp(), casperAp(1)}
+	for _, a := range approaches {
+		var ys []float64
+		for _, wt := range waits {
+			wait := sim.Microseconds(float64(wt))
+			t, _ := run2(a, o.Seed, func(env mpi.Env, win mpi.Window) {
+				win.LockAll(mpi.AssertNone)
+				accOnce(win, 1, 1)
+				win.UnlockAll()
+			}, func(env mpi.Env, win mpi.Window) {
+				env.Compute(wait)
+			})
+			ys = append(ys, t)
+		}
+		res.Series = append(res.Series, Series{Name: a.name, Y: ys})
+	}
+	return res
+}
+
+// --- Fig. 4(b): fence overlap vs. operation count -----------------------
+
+func init() {
+	register(Experiment{
+		ID:     "fig4b",
+		Figure: "Fig. 4(b)",
+		Title:  "Fence RMA overlap improvement vs. operation count",
+		Run:    runFig4b,
+	})
+}
+
+func runFig4b(o Options) *Result {
+	o = o.withDefaults()
+	ops := pow2Sweep(1, o.scaleInt(1024, 64))
+	res := &Result{
+		ID: "fig4b", Title: "fence-accumulate-fence against a 100us busy target",
+		XLabel: "operations", YLabel: "us",
+	}
+	res.X = toF(ops)
+	delay := sim.Microseconds(100)
+	approaches := []approach{origMPI(), threadAp(), dmappAp(), casperAp(1)}
+	times := map[string][]float64{}
+	for _, a := range approaches {
+		for _, n := range ops {
+			n := n
+			t, _ := run2(a, o.Seed, func(env mpi.Env, win mpi.Window) {
+				win.Fence(mpi.ModeNoPrecede)
+				accOnce(win, 1, n)
+				win.Fence(mpi.ModeNoSucceed)
+			}, func(env mpi.Env, win mpi.Window) {
+				win.Fence(mpi.ModeNoPrecede)
+				env.Compute(delay)
+				win.Fence(mpi.ModeNoSucceed)
+			})
+			times[a.name] = append(times[a.name], t)
+		}
+	}
+	for _, a := range approaches {
+		res.Series = append(res.Series, Series{Name: a.name, Y: times[a.name]})
+	}
+	var imp []float64
+	for i := range ops {
+		o := times["Original MPI"][i]
+		c := times["Casper"][i]
+		imp = append(imp, 100*(o-c)/o)
+	}
+	res.Series = append(res.Series, Series{Name: "Casper improvement %", Y: imp})
+	return res
+}
+
+// --- Fig. 4(c): DMAPP interrupt overhead ---------------------------------
+
+func init() {
+	register(Experiment{
+		ID:     "fig4c",
+		Figure: "Fig. 4(c)",
+		Title:  "Interrupt-based progress overhead vs. operation count",
+		Run:    runFig4c,
+	})
+}
+
+func runFig4c(o Options) *Result {
+	o = o.withDefaults()
+	ops := pow2Sweep(16, o.scaleInt(1024, 64))
+	res := &Result{
+		ID: "fig4c", Title: "lockall-accumulate-unlockall against a dgemm-busy target (DMAPP platform)",
+		XLabel: "operations", YLabel: "us (and interrupt count)",
+		Notes: []string{"target computes a 5 ms dgemm; interrupts counted on the target"},
+	}
+	res.X = toF(ops)
+	dgemm := sim.Microseconds(5000)
+	type row struct {
+		name string
+		a    approach
+	}
+	rows := []row{
+		{"Original MPI", approach{name: "Original MPI", net: netmodel.CrayXC30DMAPP, prog: mpi.ProgressNone}},
+		{"DMAPP", dmappAp()},
+		{"Casper", casperAp(1)},
+	}
+	var interrupts []float64
+	for ri, rw := range rows {
+		var ys []float64
+		for _, n := range ops {
+			n := n
+			t, w := run2(rw.a, o.Seed, func(env mpi.Env, win mpi.Window) {
+				win.LockAll(mpi.AssertNone)
+				accOnce(win, 1, n)
+				win.UnlockAll()
+			}, func(env mpi.Env, win mpi.Window) {
+				env.Compute(dgemm)
+			})
+			ys = append(ys, t)
+			if ri == 1 { // DMAPP: count target interrupts
+				var total int64
+				for i := 0; i < w.Config().N; i++ {
+					total += w.RankByID(i).Stats().Interrupts
+				}
+				interrupts = append(interrupts, float64(total))
+			}
+		}
+		res.Series = append(res.Series, Series{Name: rw.name, Y: ys})
+	}
+	res.Series = append(res.Series, Series{Name: "System interrupts", Y: interrupts})
+	return res
+}
+
+// --- Table I -------------------------------------------------------------
+
+func init() {
+	register(Experiment{
+		ID:     "tab1",
+		Figure: "Table I",
+		Title:  "Core deployment in the NWChem evaluation",
+		Run:    runTab1,
+	})
+}
+
+func runTab1(o Options) *Result {
+	res := &Result{
+		ID: "tab1", Title: "Computing vs. async cores per 24-core node",
+		XLabel: "deployment", YLabel: "cores",
+	}
+	deps := tceDeployments()
+	for i, d := range deps {
+		res.X = append(res.X, float64(i))
+		res.Notes = append(res.Notes,
+			fmt.Sprintf("%d: %s — %d computing cores, %d async cores",
+				i, d.Name, d.UserCores, coresPerNode-d.UserCores))
+	}
+	var comp, async []float64
+	for _, d := range deps {
+		comp = append(comp, float64(d.UserCores))
+		async = append(async, float64(coresPerNode-d.UserCores))
+	}
+	res.Series = []Series{
+		{Name: "Computing cores", Y: comp},
+		{Name: "Async cores", Y: async},
+	}
+	return res
+}

@@ -1,0 +1,91 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/mpi"
+	"repro/internal/netmodel"
+	"repro/internal/sim"
+	"repro/internal/tce"
+)
+
+func tceDeployments() []tce.Deployment { return tce.Deployments(coresPerNode) }
+
+// runNWChem measures one deployment at one node count.
+func runNWChem(d tce.Deployment, nodes int, p tce.Params, seed int64) float64 {
+	var maxEl sim.Duration
+	body := func(env mpi.Env) {
+		res := tce.Run(env, p)
+		if res.Elapsed > maxEl {
+			maxEl = res.Elapsed
+		}
+	}
+	cfg := worldConfig(netmodel.CrayXC30(), nodes*d.PPN, d.PPN, d.Progress, d.Oversub, seed)
+	if d.Ghosts > 0 {
+		runCasper(cfg, core.Config{NumGhosts: d.Ghosts}, body)
+	} else {
+		runPlain(cfg, body)
+	}
+	return maxEl.Millis()
+}
+
+// tceParamsFor sizes the task grid so each configuration has roughly
+// tasksPerCore tasks per computing core at the largest node count —
+// fixed total work across deployments (strong scaling).
+func tceParamsFor(nodes, tileSize int, phase tce.Phase) tce.Params {
+	cores := nodes * coresPerNode
+	tiles := int(math.Ceil(math.Sqrt(float64(3 * cores))))
+	return tce.Params{TilesPerDim: tiles, TileSize: tileSize, Phase: phase}
+}
+
+func nwchemExperiment(id, figure, title string, tileSize int, phase tce.Phase) {
+	register(Experiment{
+		ID:     id,
+		Figure: figure,
+		Title:  title,
+		Run: func(o Options) *Result {
+			o = o.withDefaults()
+			maxNodes := o.scaleInt(8, 2)
+			var nodeCounts []int
+			for n := 2; n <= maxNodes; n *= 2 {
+				nodeCounts = append(nodeCounts, n)
+			}
+			res := &Result{
+				ID: id, Title: title,
+				XLabel: "total_cores", YLabel: "ms",
+				Notes: []string{
+					fmt.Sprintf("tile %dx%d doubles, %v phase; Table I core deployments",
+						tileSize, tileSize, phase),
+				},
+			}
+			for _, n := range nodeCounts {
+				res.X = append(res.X, float64(n*coresPerNode))
+			}
+			for _, d := range tceDeployments() {
+				var ys []float64
+				for _, nodes := range nodeCounts {
+					p := tceParamsFor(nodes, tileSize, phase)
+					ys = append(ys, runNWChem(d, nodes, p, o.Seed))
+				}
+				res.Series = append(res.Series, Series{Name: d.Name, Y: ys})
+			}
+			return res
+		},
+	})
+}
+
+func init() {
+	// Fig. 8(a): CCSD iteration for the W16/pVDZ-like problem —
+	// moderate tiles, communication-intensive.
+	nwchemExperiment("fig8a", "Fig. 8(a)",
+		"CCSD iteration, W16-like problem", 48, tce.PhaseCCSD)
+	// Fig. 8(b): CCSD for the C20/pVTZ-like problem — larger tiles.
+	nwchemExperiment("fig8b", "Fig. 8(b)",
+		"CCSD iteration, C20-like problem", 64, tce.PhaseCCSD)
+	// Fig. 8(c): the (T) portion — compute-dominant, where async
+	// progress matters most.
+	nwchemExperiment("fig8c", "Fig. 8(c)",
+		"(T) portion of CCSD(T), C20-like problem", 24, tce.PhaseTriples)
+}

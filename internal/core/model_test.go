@@ -1,0 +1,238 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/mpi"
+)
+
+// TestRandomOpSequencesMatchReferenceModel drives randomized sequences
+// of Put/Accumulate/Get operations (random displacements, datatypes,
+// vector strides, flush points) from one origin against a reference
+// memory model, through plain MPI and through every Casper binding
+// configuration. Single-origin sequences are fully ordered by the
+// interleaved flushes, so the reference is exact; any divergence in
+// offset translation, segment splitting, or epoch translation shows up
+// as a byte mismatch.
+func TestRandomOpSequencesMatchReferenceModel(t *testing.T) {
+	type config struct {
+		name   string
+		ghosts int
+		bind   Binding
+		lb     LoadBalance
+	}
+	configs := []config{
+		{name: "plain"},
+		{name: "casper-rank-1g", ghosts: 1, bind: BindRank},
+		{name: "casper-rank-4g", ghosts: 4, bind: BindRank},
+		{name: "casper-segment-2g", ghosts: 2, bind: BindSegment},
+		{name: "casper-segment-4g", ghosts: 4, bind: BindSegment},
+		{name: "casper-random-lb", ghosts: 4, bind: BindRank, lb: LBRandom},
+	}
+	const winDoubles = 64
+	for _, cfg := range configs {
+		cfg := cfg
+		for seed := int64(1); seed <= 4; seed++ {
+			seed := seed
+			t.Run(fmt.Sprintf("%s/seed%d", cfg.name, seed), func(t *testing.T) {
+				runModelSequence(t, cfg.ghosts, cfg.bind, cfg.lb, seed, winDoubles)
+			})
+		}
+	}
+}
+
+func runModelSequence(t *testing.T, ghosts int, bind Binding, lb LoadBalance,
+	seed int64, winDoubles int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	// Pre-generate the op script so every configuration replays the
+	// identical sequence.
+	type op struct {
+		kind     mpi.OpKind
+		target   int
+		elemOff  int
+		count    int
+		stride   int // 0 = contiguous
+		vals     []float64
+		flush    bool
+		preFlush bool
+	}
+	const userCount = 4 // users in every config below
+	var script []op
+	ref := make([][]float64, userCount) // reference memory per target
+	for i := range ref {
+		ref[i] = make([]float64, winDoubles)
+	}
+	// MPI orders only the accumulate family (same origin, same target,
+	// overlapping location); concurrent puts — and puts vs accumulates
+	// — are unordered within an epoch. To keep the reference exact the
+	// generator inserts a flush before any operation whose outcome
+	// would otherwise be order-dependent.
+	unflushedPut := make([]map[int]bool, userCount)
+	unflushedAcc := make([]map[int]bool, userCount)
+	for i := range unflushedPut {
+		unflushedPut[i] = map[int]bool{}
+		unflushedAcc[i] = map[int]bool{}
+	}
+	nOps := 40 + rng.Intn(40)
+	for i := 0; i < nOps; i++ {
+		target := 1 + rng.Intn(userCount-1) // rank 0 is the origin
+		count := 1 + rng.Intn(8)
+		stride := 0
+		extent := count
+		if rng.Intn(3) == 0 { // noncontiguous vector
+			stride = count + rng.Intn(3) + 1
+			extent = (count-1)*stride + 1
+		}
+		maxOff := winDoubles - extent
+		if maxOff < 0 {
+			continue
+		}
+		o := op{
+			target:  target,
+			elemOff: rng.Intn(maxOff + 1),
+			count:   count,
+			stride:  stride,
+			flush:   rng.Intn(4) == 0,
+		}
+		switch rng.Intn(3) {
+		case 0:
+			o.kind = mpi.KindPut
+		case 1:
+			o.kind = mpi.KindAcc
+		default:
+			o.kind = mpi.KindGet
+		}
+		if o.kind != mpi.KindGet {
+			o.vals = make([]float64, count)
+			for j := range o.vals {
+				o.vals[j] = float64(rng.Intn(100)) - 50
+			}
+			elems := make([]int, count)
+			for j := range elems {
+				if stride == 0 {
+					elems[j] = o.elemOff + j
+				} else {
+					elems[j] = o.elemOff + j*stride
+				}
+			}
+			conflict := false
+			for _, e := range elems {
+				if unflushedPut[target][e] {
+					conflict = true // write over unordered write
+				}
+				if o.kind == mpi.KindPut && unflushedAcc[target][e] {
+					conflict = true // put is not ordered against accs
+				}
+			}
+			if conflict {
+				o.preFlush = true
+				unflushedPut[target] = map[int]bool{}
+				unflushedAcc[target] = map[int]bool{}
+			}
+			for _, e := range elems {
+				if o.kind == mpi.KindPut {
+					unflushedPut[target][e] = true
+				} else {
+					unflushedAcc[target][e] = true
+				}
+			}
+		}
+		if o.flush {
+			unflushedPut[target] = map[int]bool{}
+			unflushedAcc[target] = map[int]bool{}
+		}
+		script = append(script, o)
+	}
+	// Compute the reference result (ops apply in issue order because
+	// they come from a single origin: MPI orders same-origin
+	// accumulates, and our interleaved flushes order everything else).
+	refAt := func(o op, j int) int {
+		if o.stride == 0 {
+			return o.elemOff + j
+		}
+		return o.elemOff + j*o.stride
+	}
+	for _, o := range script {
+		switch o.kind {
+		case mpi.KindPut:
+			for j := 0; j < o.count; j++ {
+				ref[o.target][refAt(o, j)] = o.vals[j]
+			}
+		case mpi.KindAcc:
+			for j := 0; j < o.count; j++ {
+				ref[o.target][refAt(o, j)] += o.vals[j]
+			}
+		}
+	}
+
+	// Execute.
+	finals := make([][]float64, userCount)
+	body := func(env mpi.Env) {
+		c := env.CommWorld()
+		win, buf := env.WinAllocate(c, winDoubles*8, nil)
+		c.Barrier()
+		if env.Rank() == 0 {
+			win.LockAll(mpi.AssertNone)
+			lastGet := make([]byte, winDoubles*8)
+			for _, o := range script {
+				dt := mpi.TypeOf(mpi.Float64, o.count)
+				if o.stride != 0 {
+					dt = mpi.Vector(mpi.Float64, o.count, 1, o.stride)
+				}
+				disp := o.elemOff * 8
+				if o.preFlush {
+					win.Flush(o.target)
+				}
+				switch o.kind {
+				case mpi.KindPut:
+					win.Put(mpi.PutFloat64s(o.vals), o.target, disp, dt)
+				case mpi.KindAcc:
+					win.Accumulate(mpi.PutFloat64s(o.vals), o.target, disp, dt, mpi.OpSum)
+				case mpi.KindGet:
+					win.Get(lastGet[:dt.Size()], o.target, disp, dt)
+				}
+				if o.flush {
+					win.Flush(o.target)
+				}
+			}
+			win.UnlockAll()
+		}
+		c.Barrier()
+		finals[env.Rank()] = mpi.GetFloat64s(buf)
+		c.Barrier()
+	}
+
+	var w *mpi.World
+	var err error
+	if ghosts == 0 {
+		w, err = mpi.Run(casperConfig(userCount, userCount), func(r *mpi.Rank) { body(r) })
+	} else {
+		ppn := 2 + ghosts // 2 users per node, 2 nodes
+		mcfg := casperConfig(2*ppn, ppn)
+		w, err = mpi.Run(mcfg, func(r *mpi.Rank) {
+			p, ghost := Init(r, Config{NumGhosts: ghosts, Binding: bind, LoadBalance: lb})
+			if ghost {
+				return
+			}
+			body(p)
+			p.Finalize()
+		})
+	}
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if v := w.Validator(); v != nil && !v.Ok() {
+		t.Fatalf("validator: %v", v.Violations())
+	}
+	for target := 1; target < userCount; target++ {
+		for j, want := range ref[target] {
+			if finals[target][j] != want {
+				t.Fatalf("target %d elem %d = %v, want %v (ghosts=%d bind=%v)",
+					target, j, finals[target][j], want, ghosts, bind)
+			}
+		}
+	}
+}

@@ -1,0 +1,430 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/mpi"
+)
+
+// casperWin is the window handle Casper returns to applications. It
+// implements mpi.Window by translating every synchronization call and
+// redirecting every communication operation to ghost processes on the
+// internal windows (Sections II-C, III).
+type casperWin struct {
+	p      *Process
+	epochs epochSet
+
+	shared   *mpi.Win   // node shared-memory window (window users + ghosts)
+	lockWins []*mpi.Win // per-user-process overlapping windows (III-A)
+	active   *mpi.Win   // shared window for fence/PSCW/lockall epochs
+	user     *mpi.Win   // the user-visible window (the users' comm)
+	comm     *mpi.Comm  // user communicator of the window
+	internal *mpi.Comm  // communicator of the internal windows (users + all ghosts)
+	root     mpi.Region
+
+	binding Binding
+	lb      LoadBalance
+
+	layout []tinfo // per user comm rank
+
+	// Epoch state.
+	fenceActive   bool
+	lockAllActive bool
+	accessGroup   []int
+	exposureGroup []int
+	targets       map[int]*ctarget
+	nodeLB        map[int][]lbCount
+	freed         bool
+
+	// Request-collection state for RPut/RGet.
+	collectReqs bool
+	collecting  []*mpi.RMARequest
+
+	cmdKey string // creation command payload; keys the free protocol
+	cmdIdx int    // per-key creation index (windows may free in any order)
+}
+
+var _ mpi.Window = (*casperWin)(nil)
+
+// tinfo is the routing metadata of one user target.
+type tinfo struct {
+	world      int   // world rank of the target user process
+	node       int   // its node
+	base       int   // offset of its memory in the node's shared segment
+	size       int   // its window size
+	ghosts     []int // ghost ranks of its node, as internal-comm ranks
+	bound      int   // rank-binding ghost (internal-comm rank)
+	lockWinIdx int   // which overlapping window serves lock epochs to it
+	nodeTotal  int   // total user bytes exposed on its node
+	chunk      int   // segment-binding chunk size on its node (16-aligned)
+}
+
+// ctarget is per-target epoch state at this origin.
+type ctarget struct {
+	locked    bool
+	lt        mpi.LockType
+	viaAll    bool
+	ghostsLkd bool // ghost locks issued on the target's window
+	dynamicOK bool // a flush completed: static-binding-free interval open
+}
+
+type lbCount struct{ ops, bytes int64 }
+
+// buildLayout computes, at window creation, the routing metadata for
+// every user target: shared-segment base offsets (exchanged sizes),
+// ghost sets (as internal-comm ranks), bindings, and segment chunking.
+func (cw *casperWin) buildLayout(mySize int, topo winTopology) {
+	d := cw.p.d
+	sizes := cw.comm.AllgatherInt(mySize)
+	n := cw.comm.Size()
+	cw.layout = make([]tinfo, n)
+	type nodeAcc struct {
+		off   int
+		total int
+	}
+	accs := map[int]*nodeAcc{}
+	align := func(x int) int { return (x + mpi.MaxBasicSize - 1) / mpi.MaxBasicSize * mpi.MaxBasicSize }
+	worldToUser := map[int]int{}
+	for t := 0; t < n; t++ {
+		worldToUser[cw.comm.WorldRank(t)] = t
+	}
+	// Per node: walk the node window's members in world-rank order,
+	// accumulating 16-aligned offsets exactly as WinAllocateShared
+	// does (ghosts contribute zero bytes).
+	for node, winUsers := range topo.usersByNode {
+		acc := &nodeAcc{}
+		accs[node] = acc
+		for _, wr := range winUsers { // ascending world rank
+			ut := worldToUser[wr]
+			cw.layout[ut] = tinfo{
+				world: wr,
+				node:  node,
+				base:  acc.off,
+				size:  sizes[ut],
+			}
+			acc.off += align(sizes[ut])
+			acc.total += align(sizes[ut])
+		}
+	}
+	toInternal := func(worldRank int) int {
+		cr, ok := cw.internal.CommRankOf(worldRank)
+		if !ok {
+			panic(fmt.Sprintf("casper: ghost %d missing from internal comm", worldRank))
+		}
+		return cr
+	}
+	g := d.cfg.NumGhosts
+	for t := range cw.layout {
+		ti := &cw.layout[t]
+		for _, gw := range d.ghostsOf(ti.world) {
+			ti.ghosts = append(ti.ghosts, toInternal(gw))
+		}
+		ti.bound = toInternal(d.boundGhost(ti.world))
+		if len(cw.lockWins) > 0 {
+			ti.lockWinIdx = topo.windowLocalIndex(d, ti.world) % len(cw.lockWins)
+		}
+		ti.nodeTotal = accs[ti.node].total
+		per := (ti.nodeTotal + g - 1) / g
+		ti.chunk = align(per)
+		if ti.chunk == 0 {
+			ti.chunk = mpi.MaxBasicSize
+		}
+	}
+}
+
+func (cw *casperWin) target(t int) *ctarget {
+	ts, ok := cw.targets[t]
+	if !ok {
+		ts = &ctarget{}
+		cw.targets[t] = ts
+	}
+	return ts
+}
+
+// winFor returns the internal window carrying operations to target t
+// under the current epoch: the target's overlapping lock window for
+// lock epochs (and lockall when translated to locks, III-C-3), the
+// shared active window otherwise.
+func (cw *casperWin) winFor(t int, ts *ctarget) *mpi.Win {
+	if ts != nil && ts.locked && !ts.viaAll {
+		return cw.lockWins[cw.layout[t].lockWinIdx]
+	}
+	if cw.lockAllActive && cw.epochs.lock {
+		// lockall translated to per-target locks on the overlapping
+		// windows to avoid permission conflicts with lock epochs.
+		return cw.lockWins[cw.layout[t].lockWinIdx]
+	}
+	if cw.active == nil {
+		panic("casper: no internal window for current epoch (check epochs_used hint)")
+	}
+	return cw.active
+}
+
+// ensureGhostLocks opens the passive epoch toward all ghosts of t's node
+// on t's window, once per epoch ("Casper will internally lock all ghost
+// processes on a node", III-B).
+func (cw *casperWin) ensureGhostLocks(t int, ts *ctarget, w *mpi.Win) {
+	if ts.ghostsLkd || w == cw.active {
+		// The active window holds a standing lockall; per-ghost lock
+		// state is created lazily by the ops themselves.
+		return
+	}
+	lt := ts.lt
+	for _, g := range cw.layout[t].ghosts {
+		w.Lock(g, lt, mpi.AssertNone)
+	}
+	ts.ghostsLkd = true
+}
+
+// --- Synchronization translation (Section III-C) ----------------------
+
+// Fence translates MPI_WIN_FENCE to flushall + barrier + win_sync on the
+// active window's standing lockall (III-C-1). The asserts recover the
+// skipped work exactly as the paper describes.
+func (cw *casperWin) Fence(assert mpi.Assert) {
+	cw.requireEpoch(cw.epochs.fence, EpochFence)
+	if !assert.Has(mpi.ModeNoPrecede) {
+		cw.active.FlushAll()
+	}
+	skipSync := assert.Has(mpi.ModeNoPrecede) && assert.Has(mpi.ModeNoStore) &&
+		assert.Has(mpi.ModeNoPut)
+	if !skipSync {
+		cw.comm.Barrier()
+		cw.active.Sync()
+	}
+	cw.fenceActive = !assert.Has(mpi.ModeNoSucceed)
+	cw.resetDynamic()
+}
+
+// Post opens an exposure epoch: with ghosts handling all data movement,
+// the target only notifies the origins (send-recv synchronization,
+// III-C-2).
+func (cw *casperWin) Post(group []int, assert mpi.Assert) {
+	cw.requireEpoch(cw.epochs.pscw, EpochPSCW)
+	if cw.exposureGroup != nil {
+		panic("casper: Post with exposure epoch open")
+	}
+	cw.exposureGroup = append([]int(nil), group...)
+	if !assert.Has(mpi.ModeNoCheck) {
+		for _, o := range group {
+			cw.comm.Send(o, tagPSCWPost, nil)
+		}
+	}
+}
+
+// Start opens an access epoch, waiting for the targets' posts unless
+// MPI_MODE_NOCHECK promises external synchronization.
+func (cw *casperWin) Start(group []int, assert mpi.Assert) {
+	cw.requireEpoch(cw.epochs.pscw, EpochPSCW)
+	if cw.accessGroup != nil {
+		panic("casper: Start with access epoch open")
+	}
+	cw.accessGroup = append([]int(nil), group...)
+	if !assert.Has(mpi.ModeNoCheck) {
+		for _, t := range group {
+			cw.comm.Recv(t, tagPSCWPost)
+		}
+	}
+}
+
+// Complete closes the access epoch: flush the ghosts (remote completion
+// — stronger than MPI requires, as the paper notes), then notify the
+// targets.
+func (cw *casperWin) Complete() {
+	if cw.accessGroup == nil {
+		panic("casper: Complete without access epoch")
+	}
+	cw.active.FlushAll()
+	for _, t := range cw.accessGroup {
+		cw.comm.Send(t, tagPSCWDone, nil)
+	}
+	cw.accessGroup = nil
+	cw.resetDynamic()
+}
+
+// Wait closes the exposure epoch once every origin has completed; data
+// is already remotely complete because origins flushed before notifying.
+func (cw *casperWin) Wait() {
+	if cw.exposureGroup == nil {
+		panic("casper: Wait without exposure epoch")
+	}
+	for _, o := range cw.exposureGroup {
+		cw.comm.Recv(o, tagPSCWDone)
+	}
+	cw.user.Sync()
+	cw.exposureGroup = nil
+}
+
+// Lock opens a passive epoch to one user target by locking all ghosts of
+// the target's node on the target's own overlapping window (III-A,
+// III-B).
+func (cw *casperWin) Lock(t int, lt mpi.LockType, assert mpi.Assert) {
+	cw.requireEpoch(cw.epochs.lock, EpochLock)
+	ts := cw.target(t)
+	if ts.locked {
+		panic(fmt.Sprintf("casper: nested Lock to target %d", t))
+	}
+	ts.locked = true
+	ts.viaAll = false
+	ts.lt = lt
+	ts.ghostsLkd = false
+	ts.dynamicOK = false
+	cw.ensureGhostLocks(t, ts, cw.winFor(t, ts))
+}
+
+// Unlock closes the passive epoch: unlock every ghost (completing all
+// operations remotely).
+func (cw *casperWin) Unlock(t int) {
+	ts, ok := cw.targets[t]
+	if !ok || !ts.locked || ts.viaAll {
+		panic(fmt.Sprintf("casper: Unlock of target %d without Lock", t))
+	}
+	w := cw.winFor(t, ts)
+	for _, g := range cw.layout[t].ghosts {
+		w.Unlock(g)
+	}
+	delete(cw.targets, t)
+}
+
+// LockAll opens a lockall epoch. When lock epochs are also declared it
+// is converted to a series of per-target ghost locks on the overlapping
+// windows (III-C-3); otherwise it rides the active window's standing
+// lockall.
+func (cw *casperWin) LockAll(assert mpi.Assert) {
+	cw.requireEpoch(cw.epochs.lockall, EpochLockAll)
+	if cw.lockAllActive {
+		panic("casper: nested LockAll")
+	}
+	cw.lockAllActive = true
+}
+
+// UnlockAll closes the lockall epoch, completing all operations.
+func (cw *casperWin) UnlockAll() {
+	if !cw.lockAllActive {
+		panic("casper: UnlockAll without LockAll")
+	}
+	if cw.epochs.lock {
+		for t, ts := range cw.targets {
+			if ts.viaAll && ts.locked {
+				if ts.ghostsLkd {
+					w := cw.lockWins[cw.layout[t].lockWinIdx]
+					for _, g := range cw.layout[t].ghosts {
+						w.Unlock(g)
+					}
+				}
+				delete(cw.targets, t)
+			}
+		}
+	} else {
+		cw.active.FlushAll()
+		for t, ts := range cw.targets {
+			if ts.viaAll {
+				delete(cw.targets, t)
+			}
+		}
+	}
+	cw.lockAllActive = false
+}
+
+// Flush completes all operations to target t at origin and target, and —
+// by forcing lock acquisition on every ghost — opens the
+// static-binding-free interval in which dynamic load balancing of
+// PUT/GET is legal (III-B-3).
+func (cw *casperWin) Flush(t int) {
+	ts, ok := cw.targets[t]
+	if !ok || !ts.locked {
+		switch {
+		case cw.lockAllActive:
+			ts = cw.epochStateFor(t) // opens the lazy per-target state
+		case cw.fenceActive:
+			ts = cw.target(t) // flush rides the active window
+		default:
+			panic(fmt.Sprintf("casper: Flush of target %d without passive epoch", t))
+		}
+	}
+	w := cw.winFor(t, ts)
+	if ts.locked {
+		cw.ensureGhostLocks(t, ts, w)
+	}
+	for _, g := range cw.layout[t].ghosts {
+		w.Acquire(g)
+		w.Flush(g)
+	}
+	ts.dynamicOK = true
+}
+
+// FlushAll flushes every target this origin has touched.
+func (cw *casperWin) FlushAll() {
+	for t, ts := range cw.targets {
+		if !ts.locked {
+			continue
+		}
+		w := cw.winFor(t, ts)
+		cw.ensureGhostLocks(t, ts, w)
+		for _, g := range cw.layout[t].ghosts {
+			w.Acquire(g)
+			w.Flush(g)
+		}
+		ts.dynamicOK = true
+	}
+	if cw.active != nil {
+		cw.active.FlushAll()
+	}
+}
+
+// FlushLocal completes operations locally.
+func (cw *casperWin) FlushLocal(t int) {
+	if ts, ok := cw.targets[t]; ok && ts.locked {
+		cw.winFor(t, ts).FlushLocal(0)
+	}
+}
+
+// FlushLocalAll completes all operations locally.
+func (cw *casperWin) FlushLocalAll() {
+	if cw.active != nil {
+		cw.active.FlushLocalAll()
+	}
+}
+
+// Sync issues the memory barrier on the user window.
+func (cw *casperWin) Sync() { cw.user.Sync() }
+
+// Free releases the window: the ghosts rejoin (via the sequencer) to
+// free the internal overlapping windows and the node shared window,
+// then the user-visible window is freed among the users. Collective
+// over the window's user communicator.
+func (cw *casperWin) Free() {
+	if cw.freed {
+		panic("casper: Free called twice")
+	}
+	cw.freed = true
+	if cw.comm.Rank() == 0 {
+		cw.p.d.world.Send(cw.p.d.sequencer(), tagGhostCmd,
+			encodeFreeCmd(cw.cmdKey, cw.cmdIdx))
+	}
+	if cw.active != nil {
+		cw.active.UnlockAll()
+	}
+	// Same order as ghostWinSet.free.
+	for _, w := range cw.lockWins {
+		w.Free()
+	}
+	if cw.active != nil {
+		cw.active.Free()
+	}
+	cw.shared.Free()
+	cw.user.Free()
+}
+
+func (cw *casperWin) requireEpoch(declared bool, name string) {
+	if !declared {
+		panic(fmt.Sprintf("casper: %s epoch used but not declared in %s hint",
+			name, InfoEpochsUsed))
+	}
+}
+
+func (cw *casperWin) resetDynamic() {
+	for _, ts := range cw.targets {
+		ts.dynamicOK = false
+	}
+}

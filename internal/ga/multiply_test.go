@@ -1,0 +1,116 @@
+package ga
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mpi"
+)
+
+// serialMul is the reference n x n matrix multiply.
+func serialMul(n int, a, b func(i, j int) float64) []float64 {
+	out := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var s float64
+			for k := 0; k < n; k++ {
+				s += a(i, k) * b(k, j)
+			}
+			out[i*n+j] = s
+		}
+	}
+	return out
+}
+
+func checkMultiply(t *testing.T, runner func(t *testing.T, n, ppn, ghosts int, main func(env mpi.Env)) *mpi.World,
+	ranks, ghosts, n, panel int) {
+	t.Helper()
+	fa := func(i, j int) float64 { return float64(i + 2*j + 1) }
+	fb := func(i, j int) float64 { return float64(i - j) }
+	want := serialMul(n, fa, fb)
+	var got []float64
+	main := func(env mpi.Env) {
+		a := MustCreate(env, "A", n, n)
+		b := MustCreate(env, "B", n, n)
+		c := MustCreate(env, "C", n, n)
+		a.FillPattern(fa)
+		b.FillPattern(fb)
+		c.Fill(0)
+		MustMultiply(a, b, c, panel, 0.25)
+		if env.Rank() == 0 {
+			got = make([]float64, n*n)
+			c.Get(0, n, 0, n, got)
+		}
+		c.Sync()
+		c.Destroy()
+		b.Destroy()
+		a.Destroy()
+	}
+	if ghosts == 0 {
+		runner(t, ranks, ranks, 0, main)
+	} else {
+		runner(t, ranks, ranks, ghosts, main)
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Fatalf("C[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func plainRunner(t *testing.T, n, ppn, _ int, main func(env mpi.Env)) *mpi.World {
+	return runPlain(t, n, ppn, main)
+}
+
+func casperRunner(t *testing.T, n, _, ghosts int, main func(env mpi.Env)) *mpi.World {
+	// Single node: n user ranks plus the ghosts.
+	return runCasper(t, n+ghosts, n+ghosts, ghosts, main)
+}
+
+func TestMultiplyMatchesSerial(t *testing.T) {
+	checkMultiply(t, plainRunner, 4, 0, 8, 4)
+	checkMultiply(t, plainRunner, 6, 0, 12, 3)
+}
+
+func TestMultiplyOverCasper(t *testing.T) {
+	checkMultiply(t, casperRunner, 4, 2, 8, 2)
+}
+
+func TestMultiplyRejectsBadShapes(t *testing.T) {
+	runPlain(t, 4, 4, func(env mpi.Env) {
+		a := MustCreate(env, "A", 8, 8)
+		b := MustCreate(env, "B", 8, 8)
+		c := MustCreate(env, "C", 8, 8)
+		if err := Multiply(a, b, c, 3, 0); err == nil { // 3 does not divide 8
+			t.Error("bad panel accepted")
+		}
+		d := MustCreate(env, "D", 8, 16)
+		if err := Multiply(a, b, d, 4, 0); err == nil {
+			t.Error("mismatched dims accepted")
+		}
+		d.Destroy()
+		c.Destroy()
+		b.Destroy()
+		a.Destroy()
+	})
+}
+
+func TestFillPattern(t *testing.T) {
+	runPlain(t, 4, 4, func(env mpi.Env) {
+		a := MustCreate(env, "P", 6, 6)
+		a.FillPattern(func(i, j int) float64 { return float64(10*i + j) })
+		if env.Rank() == 0 {
+			got := make([]float64, 36)
+			a.Get(0, 6, 0, 6, got)
+			for i := 0; i < 6; i++ {
+				for j := 0; j < 6; j++ {
+					if got[i*6+j] != float64(10*i+j) {
+						t.Fatalf("(%d,%d) = %v", i, j, got[i*6+j])
+					}
+				}
+			}
+		}
+		a.Sync()
+		a.Destroy()
+	})
+}

@@ -1,0 +1,164 @@
+// Package gups implements the HPC Challenge RandomAccess (GUPS)
+// benchmark over MPI RMA: every process fires XOR-accumulate updates at
+// pseudo-random words of a globally distributed table. It is the
+// classic stress test for exactly the properties Casper's Section III-B
+// machinery protects — concurrent atomic updates from many origins to
+// the same memory — and the update stream is replayable, so the final
+// table is verified exactly.
+package gups
+
+import (
+	"fmt"
+
+	"repro/internal/mpi"
+	"repro/internal/sim"
+)
+
+// Params configures a run.
+type Params struct {
+	WordsPerRank   int   // table words owned by each rank (power of two not required)
+	UpdatesPerRank int   // XOR updates issued by each rank
+	Seed           int64 // stream seed (per-rank streams derive from it)
+	FlushEvery     int   // flush the epoch every n updates; 0 = only at the end
+}
+
+// Validate checks the parameters.
+func (p Params) Validate() error {
+	if p.WordsPerRank <= 0 || p.UpdatesPerRank < 0 {
+		return fmt.Errorf("gups: bad params %+v", p)
+	}
+	return nil
+}
+
+// Result is one rank's view of a run.
+type Result struct {
+	Elapsed sim.Duration
+	Updates int
+	// GUPS is giga-updates per simulated second, aggregated over the
+	// world by the caller (each rank reports its own issue rate).
+	GUPS float64
+}
+
+// xorshift64 is the deterministic update-stream generator.
+func xorshift64(x uint64) uint64 {
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	return x
+}
+
+func streamSeed(seed int64, rank int) uint64 {
+	s := uint64(seed)*2654435761 + uint64(rank)*40503 + 1
+	return xorshift64(xorshift64(s))
+}
+
+// Run executes the benchmark on the calling rank. Collective; all ranks
+// pass identical Params. The table starts zeroed; each update XORs the
+// random value into the word at (value mod tableSize).
+func Run(env mpi.Env, p Params) Result {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	c := env.CommWorld()
+	n := c.Size()
+	totalWords := p.WordsPerRank * n
+	win, _ := env.WinAllocate(c, 8*p.WordsPerRank, mpi.Info{"epochs_used": "lockall"})
+	defer win.Free()
+
+	c.Barrier()
+	start := env.Now()
+	win.LockAll(mpi.AssertNone)
+	x := streamSeed(p.Seed, c.Rank())
+	for i := 0; i < p.UpdatesPerRank; i++ {
+		x = xorshift64(x)
+		word := int(x % uint64(totalWords))
+		target := word / p.WordsPerRank
+		disp := (word % p.WordsPerRank) * 8
+		win.Accumulate(mpi.PutInt64(int64(x)), target, disp, mpi.Scalar(mpi.Int64), mpi.OpBXor)
+		if p.FlushEvery > 0 && (i+1)%p.FlushEvery == 0 {
+			win.FlushAll()
+		}
+	}
+	win.UnlockAll()
+	c.Barrier()
+	el := env.Now().Sub(start)
+
+	res := Result{Elapsed: el, Updates: p.UpdatesPerRank}
+	if secs := el.Seconds(); secs > 0 {
+		res.GUPS = float64(p.UpdatesPerRank*n) / secs / 1e9
+	}
+	return res
+}
+
+// Expected replays every rank's update stream and returns the expected
+// table contents (totalWords int64 words), for verification.
+func Expected(ranks int, p Params) []int64 {
+	totalWords := p.WordsPerRank * ranks
+	table := make([]int64, totalWords)
+	for r := 0; r < ranks; r++ {
+		x := streamSeed(p.Seed, r)
+		for i := 0; i < p.UpdatesPerRank; i++ {
+			x = xorshift64(x)
+			table[int(x%uint64(totalWords))] ^= int64(x)
+		}
+	}
+	return table
+}
+
+// RunVerified runs the benchmark and then gathers the whole table to
+// rank 0 for exact comparison with the replayed streams. It returns the
+// rank-local result and, on rank 0, whether the table matched.
+func RunVerified(env mpi.Env, p Params) (Result, bool) {
+	c := env.CommWorld()
+	n := c.Size()
+	win, local := env.WinAllocate(c, 8*p.WordsPerRank, mpi.Info{"epochs_used": "lockall"})
+	defer win.Free()
+
+	c.Barrier()
+	start := env.Now()
+	win.LockAll(mpi.AssertNone)
+	totalWords := p.WordsPerRank * n
+	x := streamSeed(p.Seed, c.Rank())
+	for i := 0; i < p.UpdatesPerRank; i++ {
+		x = xorshift64(x)
+		word := int(x % uint64(totalWords))
+		target := word / p.WordsPerRank
+		disp := (word % p.WordsPerRank) * 8
+		win.Accumulate(mpi.PutInt64(int64(x)), target, disp, mpi.Scalar(mpi.Int64), mpi.OpBXor)
+	}
+	win.UnlockAll()
+	c.Barrier()
+	el := env.Now().Sub(start)
+
+	// Gather local tables to rank 0 as raw bytes (XOR values use all
+	// 64 bits, so they must not pass through float64).
+	const gatherTag = 771
+	ok := true
+	if c.Rank() == 0 {
+		want := Expected(n, p)
+		table := make([]int64, 0, p.WordsPerRank*n)
+		for i := 0; i < p.WordsPerRank; i++ {
+			table = append(table, mpi.GetInt64(local[8*i:]))
+		}
+		for src := 1; src < n; src++ {
+			data, _ := c.Recv(src, gatherTag)
+			for i := 0; i < p.WordsPerRank; i++ {
+				table = append(table, mpi.GetInt64(data[8*i:]))
+			}
+		}
+		for i, w := range want {
+			if table[i] != w {
+				ok = false
+				break
+			}
+		}
+	} else {
+		c.Send(0, gatherTag, local)
+	}
+	c.Barrier()
+	res := Result{Elapsed: el, Updates: p.UpdatesPerRank}
+	if secs := el.Seconds(); secs > 0 {
+		res.GUPS = float64(p.UpdatesPerRank*n) / secs / 1e9
+	}
+	return res, ok
+}

@@ -1,0 +1,159 @@
+package gups
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/mpi"
+	"repro/internal/netmodel"
+)
+
+func gupsConfig(n, ppn int) mpi.Config {
+	nodes := (n + ppn - 1) / ppn
+	return mpi.Config{
+		Machine:  cluster.Machine{Nodes: nodes, CoresPerNode: 24, NUMAPerNode: 2},
+		N:        n,
+		PPN:      ppn,
+		Net:      netmodel.CrayXC30(),
+		Seed:     13,
+		Validate: true,
+	}
+}
+
+func TestStreamsDeterministic(t *testing.T) {
+	a := Expected(4, Params{WordsPerRank: 16, UpdatesPerRank: 100, Seed: 1})
+	b := Expected(4, Params{WordsPerRank: 16, UpdatesPerRank: 100, Seed: 1})
+	diff := Expected(4, Params{WordsPerRank: 16, UpdatesPerRank: 100, Seed: 2})
+	same, changed := true, false
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+		}
+		if a[i] != diff[i] {
+			changed = true
+		}
+	}
+	if !same || !changed {
+		t.Fatalf("same=%v changed=%v", same, changed)
+	}
+}
+
+func TestVerifiedOverPlainMPI(t *testing.T) {
+	p := Params{WordsPerRank: 32, UpdatesPerRank: 200, Seed: 5}
+	okAll := true
+	w, err := mpi.Run(gupsConfig(4, 4), func(r *mpi.Rank) {
+		_, ok := RunVerified(r, p)
+		if r.Rank() == 0 && !ok {
+			okAll = false
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !okAll {
+		t.Fatal("table mismatch over plain MPI")
+	}
+	if v := w.Validator(); v != nil && !v.Ok() {
+		t.Fatalf("validator: %v", v.Violations())
+	}
+}
+
+func TestVerifiedOverCasperMultiGhost(t *testing.T) {
+	// The atomicity stress: concurrent 64-bit XOR updates from every
+	// origin into shared words, redirected through 4 ghosts. Rank
+	// binding must keep the table exact and the validator silent.
+	p := Params{WordsPerRank: 16, UpdatesPerRank: 300, Seed: 9}
+	okAll := true
+	w, err := mpi.Run(gupsConfig(12, 12), func(r *mpi.Rank) {
+		cp, ghost := core.Init(r, core.Config{NumGhosts: 4})
+		if ghost {
+			return
+		}
+		_, ok := RunVerified(cp, p)
+		if cp.Rank() == 0 && !ok {
+			okAll = false
+		}
+		cp.Finalize()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !okAll {
+		t.Fatal("table mismatch over Casper")
+	}
+	if v := w.Validator(); v != nil && !v.Ok() {
+		t.Fatalf("validator: %v", v.Violations())
+	}
+}
+
+func TestSegmentBindingAlsoExact(t *testing.T) {
+	p := Params{WordsPerRank: 16, UpdatesPerRank: 200, Seed: 3}
+	okAll := true
+	_, err := mpi.Run(gupsConfig(12, 12), func(r *mpi.Rank) {
+		cp, ghost := core.Init(r, core.Config{NumGhosts: 4, Binding: core.BindSegment})
+		if ghost {
+			return
+		}
+		_, ok := RunVerified(cp, p)
+		if cp.Rank() == 0 && !ok {
+			okAll = false
+		}
+		cp.Finalize()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !okAll {
+		t.Fatal("table mismatch under segment binding")
+	}
+}
+
+func TestRunReportsRate(t *testing.T) {
+	p := Params{WordsPerRank: 32, UpdatesPerRank: 100, Seed: 1, FlushEvery: 16}
+	var res Result
+	_, err := mpi.Run(gupsConfig(4, 4), func(r *mpi.Rank) {
+		out := Run(r, p)
+		if r.Rank() == 0 {
+			res = out
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Updates != 100 || res.GUPS <= 0 || res.Elapsed <= 0 {
+		t.Fatalf("result = %+v", res)
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	if (Params{WordsPerRank: 0, UpdatesPerRank: 1}).Validate() == nil {
+		t.Error("zero words accepted")
+	}
+	if (Params{WordsPerRank: 4, UpdatesPerRank: -1}).Validate() == nil {
+		t.Error("negative updates accepted")
+	}
+}
+
+func TestBitwiseOpsSupportGUPSSemantics(t *testing.T) {
+	// Sanity of the underlying XOR accumulate: a ^ a == 0.
+	_, err := mpi.Run(gupsConfig(2, 2), func(r *mpi.Rank) {
+		c := r.CommWorld()
+		win, buf := r.WinAllocate(c, 8, nil)
+		c.Barrier()
+		if r.Rank() == 0 {
+			v := mpi.PutInt64(0x0123456789abcdef)
+			win.LockAll(mpi.AssertNone)
+			win.Accumulate(v, 1, 0, mpi.Scalar(mpi.Int64), mpi.OpBXor)
+			win.Accumulate(v, 1, 0, mpi.Scalar(mpi.Int64), mpi.OpBXor)
+			win.UnlockAll()
+		}
+		c.Barrier()
+		if r.Rank() == 1 && mpi.GetInt64(buf) != 0 {
+			t.Errorf("a^a = %x", mpi.GetInt64(buf))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,464 @@
+package mpi
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Wildcards for Recv matching.
+const (
+	AnySource = -1
+	AnyTag    = -1
+)
+
+// commGlobal is the shared state of one communicator: the rank list and
+// the rendezvous state for collectives.
+type commGlobal struct {
+	id    int
+	w     *World
+	ranks []int       // comm rank -> world rank
+	index map[int]int // world rank -> comm rank
+	gen   []int       // per comm-rank collective sequence number
+	colls map[int]*collOp
+}
+
+func (w *World) newCommGlobal(worldRanks []int) *commGlobal {
+	w.commSeq++
+	g := &commGlobal{
+		id:    w.commSeq,
+		w:     w,
+		ranks: append([]int(nil), worldRanks...),
+		index: make(map[int]int, len(worldRanks)),
+		gen:   make([]int, len(worldRanks)),
+		colls: make(map[int]*collOp),
+	}
+	for i, r := range g.ranks {
+		g.index[r] = i
+	}
+	return g
+}
+
+// Comm is one rank's handle on a communicator.
+type Comm struct {
+	g  *commGlobal
+	me int // comm rank
+	r  *Rank
+}
+
+// Rank returns the calling process's rank in this communicator.
+func (c *Comm) Rank() int { return c.me }
+
+// Size returns the communicator size.
+func (c *Comm) Size() int { return len(c.g.ranks) }
+
+// WorldRank translates a comm rank to a world (MPI_COMM_WORLD) rank.
+func (c *Comm) WorldRank(commRank int) int { return c.g.ranks[commRank] }
+
+// CommRankOf translates a world rank into this communicator, returning
+// ok=false if the world rank is not a member.
+func (c *Comm) CommRankOf(worldRank int) (int, bool) {
+	i, ok := c.g.index[worldRank]
+	return i, ok
+}
+
+// Group returns the communicator's members as world ranks.
+func (c *Comm) Group() []int { return append([]int(nil), c.g.ranks...) }
+
+// ID returns a process-global identifier for the communicator (used in
+// message matching).
+func (c *Comm) ID() int { return c.g.id }
+
+// String implements fmt.Stringer.
+func (c *Comm) String() string {
+	return fmt.Sprintf("comm%d(rank %d/%d)", c.g.id, c.me, len(c.g.ranks))
+}
+
+// --- Point-to-point -------------------------------------------------
+
+// Status describes a received message.
+type Status struct {
+	Source int // comm rank of the sender
+	Tag    int
+}
+
+type inMsg struct {
+	commID int
+	src    int // comm rank
+	tag    int
+	data   []byte
+}
+
+type postedRecv struct {
+	commID int
+	src    int
+	tag    int
+	done   sim.Completion
+	msg    *inMsg
+}
+
+// mailbox holds a rank's unexpected-message and posted-receive queues.
+type mailbox struct {
+	msgs     []*inMsg
+	recvs    []*postedRecv
+	probeSig sim.Signal // broadcast on unexpected-message arrival (Probe)
+}
+
+func match(commID, src, tag int, m *inMsg) bool {
+	return m.commID == commID &&
+		(src == AnySource || m.src == src) &&
+		(tag == AnyTag || m.tag == tag)
+}
+
+// arrive runs in engine context when a message reaches its destination.
+func (mb *mailbox) arrive(m *inMsg) {
+	for i, pr := range mb.recvs {
+		if match(pr.commID, pr.src, pr.tag, m) {
+			mb.recvs = append(mb.recvs[:i], mb.recvs[i+1:]...)
+			pr.msg = m
+			pr.done.Complete()
+			return
+		}
+	}
+	mb.msgs = append(mb.msgs, m)
+	mb.probeSig.Broadcast()
+}
+
+// Send sends data to comm rank dest with the given tag. The model is an
+// eager/buffered send: it completes locally once issued; the message
+// arrives after the wire time. Delivery is FIFO per (sender, receiver)
+// pair, as on a connection-oriented transport — a later small message
+// never overtakes an earlier large one.
+func (c *Comm) Send(dest, tag int, data []byte) {
+	r := c.r
+	r.mpiEnter()
+	defer r.mpiLeave()
+	destWorld := c.g.ranks[dest]
+	msg := &inMsg{commID: c.g.id, src: c.me, tag: tag, data: append([]byte(nil), data...)}
+	dr := c.g.w.ranks[destWorld]
+	eng := r.w.eng
+	arrival := eng.Now().Add(r.transferTo(destWorld, len(data)))
+	if r.p2pLast == nil {
+		r.p2pLast = map[int]sim.Time{}
+	}
+	if arrival <= r.p2pLast[destWorld] {
+		arrival = r.p2pLast[destWorld] + 1
+	}
+	r.p2pLast[destWorld] = arrival
+	eng.At(arrival, func() { dr.mailbox.arrive(msg) })
+	r.stats.MessagesSent++
+}
+
+// Recv blocks until a message matching (src, tag) arrives; src may be
+// AnySource and tag AnyTag. While blocked the rank is inside MPI, so
+// software RMA targeted at it makes progress — this is why a Casper
+// ghost parked in a Recv loop provides asynchronous progress.
+func (c *Comm) Recv(src, tag int) ([]byte, Status) {
+	r := c.r
+	r.mpiEnter()
+	defer r.mpiLeave()
+	mb := &r.mailbox
+	for i, m := range mb.msgs {
+		if match(c.g.id, src, tag, m) {
+			mb.msgs = append(mb.msgs[:i], mb.msgs[i+1:]...)
+			return m.data, Status{Source: m.src, Tag: m.tag}
+		}
+	}
+	pr := &postedRecv{commID: c.g.id, src: src, tag: tag}
+	mb.recvs = append(mb.recvs, pr)
+	pr.done.Await(r.proc, "MPI_Recv")
+	return pr.msg.data, Status{Source: pr.msg.src, Tag: pr.msg.tag}
+}
+
+// --- Collectives ----------------------------------------------------
+
+type collOp struct {
+	name    string // collective type, to diagnose mismatched calls
+	arrived int
+	left    int
+	vals    []interface{}
+	result  interface{}
+	done    sim.Completion
+}
+
+// rounds returns ceil(log2(n)), the depth of a dissemination/tree
+// collective.
+func rounds(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return int(math.Ceil(math.Log2(float64(n))))
+}
+
+// collective runs a generic rendezvous: every comm rank contributes val;
+// when the last arrives, reduce computes the shared result and all ranks
+// resume after cost. reduce may be nil.
+func (c *Comm) collective(name string, val interface{},
+	cost sim.Duration, reduce func(vals []interface{}) interface{}) interface{} {
+	r := c.r
+	r.mpiEnter()
+	defer r.mpiLeave()
+	g := c.g
+	gen := g.gen[c.me]
+	g.gen[c.me]++
+	coll, ok := g.colls[gen]
+	if !ok {
+		coll = &collOp{name: name, vals: make([]interface{}, len(g.ranks))}
+		g.colls[gen] = coll
+	}
+	if coll.name != name {
+		panic(fmt.Sprintf("mpi: collective mismatch on comm%d: rank %d called %s while others called %s",
+			g.id, c.me, name, coll.name))
+	}
+	coll.vals[c.me] = val
+	coll.arrived++
+	if coll.arrived == len(g.ranks) {
+		if reduce != nil {
+			coll.result = reduce(coll.vals)
+		}
+		done := coll.done.Complete
+		r.w.eng.After(cost, done)
+	}
+	coll.done.Await(r.proc, name)
+	res := coll.result
+	coll.left++
+	if coll.left == len(g.ranks) {
+		delete(g.colls, gen)
+	}
+	return res
+}
+
+// barrierCost models a dissemination barrier.
+func (c *Comm) barrierCost() sim.Duration {
+	n := len(c.g.ranks)
+	per := c.g.w.net.InterLatency + c.g.w.net.CallOverhead
+	return sim.Duration(rounds(n)) * per
+}
+
+// Barrier blocks until all comm members arrive (MPI_BARRIER).
+func (c *Comm) Barrier() {
+	c.collective("MPI_Barrier", nil, c.barrierCost(), nil)
+}
+
+// Bcast broadcasts root's buffer to all ranks, returning the received
+// copy (MPI_BCAST).
+func (c *Comm) Bcast(root int, data []byte) []byte {
+	n := len(c.g.ranks)
+	var size int
+	if c.me == root {
+		size = len(data)
+	}
+	cost := sim.Duration(rounds(n)) * (c.g.w.net.InterLatency +
+		sim.Duration(float64(size)*c.g.w.net.InterPerByte))
+	res := c.collective("MPI_Bcast", data, cost, func(vals []interface{}) interface{} {
+		return vals[root]
+	})
+	b, _ := res.([]byte)
+	return append([]byte(nil), b...)
+}
+
+// AllreduceFloat64 element-wise reduces each rank's vector with op and
+// returns the result on every rank (MPI_ALLREDUCE).
+func (c *Comm) AllreduceFloat64(vals []float64, op Op) []float64 {
+	n := len(c.g.ranks)
+	cost := sim.Duration(rounds(n)) * (c.g.w.net.InterLatency +
+		sim.Duration(float64(8*len(vals))*c.g.w.net.InterPerByte))
+	res := c.collective("MPI_Allreduce", vals, cost, func(all []interface{}) interface{} {
+		out := append([]float64(nil), all[0].([]float64)...)
+		buf := make([]byte, 8)
+		acc := make([]byte, 8)
+		for _, v := range all[1:] {
+			vv := v.([]float64)
+			for i := range out {
+				// Reuse the element combiner for exact MPI semantics.
+				putF64(acc, out[i])
+				putF64(buf, vv[i])
+				applyElem(op, Float64, acc, buf)
+				out[i] = getF64(acc)
+			}
+		}
+		return out
+	})
+	return append([]float64(nil), res.([]float64)...)
+}
+
+// ReduceFloat64 element-wise reduces onto root only; other ranks
+// receive nil (MPI_REDUCE).
+func (c *Comm) ReduceFloat64(root int, vals []float64, op Op) []float64 {
+	out := c.AllreduceFloat64(vals, op)
+	if c.me != root {
+		return nil
+	}
+	return out
+}
+
+// AllgatherFloat64 concatenates each rank's equally sized vector in
+// comm-rank order (MPI_ALLGATHER).
+func (c *Comm) AllgatherFloat64(vals []float64) []float64 {
+	n := len(c.g.ranks)
+	cost := sim.Duration(rounds(n)) * (c.g.w.net.InterLatency +
+		sim.Duration(float64(8*len(vals)*n)*c.g.w.net.InterPerByte))
+	res := c.collective("MPI_Allgather", vals, cost, func(all []interface{}) interface{} {
+		var out []float64
+		for _, v := range all {
+			out = append(out, v.([]float64)...)
+		}
+		return out
+	})
+	return append([]float64(nil), res.([]float64)...)
+}
+
+// AlltoallFloat64 exchanges personalized vectors: send[i] goes to rank
+// i; the result's element i came from rank i (MPI_ALLTOALL with one
+// element per peer).
+func (c *Comm) AlltoallFloat64(send []float64) []float64 {
+	n := len(c.g.ranks)
+	if len(send) != n {
+		panic(fmt.Sprintf("mpi: Alltoall send length %d != comm size %d", len(send), n))
+	}
+	cost := sim.Duration(rounds(n)) * (c.g.w.net.InterLatency +
+		sim.Duration(float64(8*n)*c.g.w.net.InterPerByte))
+	me := c.me
+	res := c.collective("MPI_Alltoall", send, cost, func(all []interface{}) interface{} {
+		// The reduce closure computes the full transpose once; each
+		// rank extracts its row below.
+		out := make([][]float64, len(all))
+		for i := range out {
+			out[i] = make([]float64, len(all))
+			for j, v := range all {
+				out[i][j] = v.([]float64)[i]
+			}
+		}
+		return out
+	})
+	return append([]float64(nil), res.([][]float64)[me]...)
+}
+
+// AllgatherInt gathers one int from each rank, indexed by comm rank
+// (MPI_ALLGATHER).
+func (c *Comm) AllgatherInt(v int) []int {
+	n := len(c.g.ranks)
+	cost := sim.Duration(rounds(n)) * (c.g.w.net.InterLatency + c.g.w.net.CallOverhead)
+	res := c.collective("MPI_Allgather", v, cost, func(all []interface{}) interface{} {
+		out := make([]int, len(all))
+		for i, x := range all {
+			out[i] = x.(int)
+		}
+		return out
+	})
+	return append([]int(nil), res.([]int)...)
+}
+
+type splitKey struct {
+	color, key int
+}
+
+// Split partitions the communicator by color, ordering ranks within each
+// new communicator by (key, old rank) (MPI_COMM_SPLIT). color < 0 acts
+// as MPI_UNDEFINED: the rank gets no new communicator (nil).
+func (c *Comm) Split(color, key int) *Comm {
+	cost := c.barrierCost()
+	res := c.collective("MPI_Comm_split", splitKey{color, key}, cost,
+		func(all []interface{}) interface{} {
+			byColor := map[int][]int{} // color -> comm ranks
+			var colors []int
+			for i, v := range all {
+				sk := v.(splitKey)
+				if sk.color < 0 {
+					continue
+				}
+				if _, ok := byColor[sk.color]; !ok {
+					colors = append(colors, sk.color)
+				}
+				byColor[sk.color] = append(byColor[sk.color], i)
+			}
+			sort.Ints(colors)
+			out := map[int]*commGlobal{}
+			for _, col := range colors {
+				members := byColor[col]
+				sort.SliceStable(members, func(a, b int) bool {
+					ka := all[members[a]].(splitKey).key
+					kb := all[members[b]].(splitKey).key
+					if ka != kb {
+						return ka < kb
+					}
+					return members[a] < members[b]
+				})
+				world := make([]int, len(members))
+				for i, m := range members {
+					world[i] = c.g.ranks[m]
+				}
+				out[col] = c.g.w.newCommGlobal(world)
+			}
+			return out
+		})
+	if color < 0 {
+		return nil
+	}
+	groups := res.(map[int]*commGlobal)
+	ng := groups[color]
+	me, ok := ng.index[c.g.ranks[c.me]]
+	if !ok {
+		panic("mpi: split result missing caller")
+	}
+	return &Comm{g: ng, me: me, r: c.r}
+}
+
+// CommFromGroup builds a communicator containing exactly the given
+// world ranks, collectively over those ranks only — MPI_COMM_CREATE_
+// GROUP semantics. Every member must call it with the identical rank
+// list; members' nth calls with the same list yield the same
+// communicator. No other rank participates (unlike Split), which is
+// what lets Casper assemble per-window communicators of window users
+// plus ghost processes without involving bystanders.
+func (r *Rank) CommFromGroup(worldRanks []int) *Comm {
+	r.mpiEnter()
+	defer r.mpiLeave()
+	sorted := append([]int(nil), worldRanks...)
+	sort.Ints(sorted)
+	key := fmt.Sprint(sorted)
+	w := r.w
+	if w.groupComms == nil {
+		w.groupComms = map[string][]*commGlobal{}
+	}
+	if r.groupUses == nil {
+		r.groupUses = map[string]int{}
+	}
+	idx := r.groupUses[key]
+	r.groupUses[key]++
+	insts := w.groupComms[key]
+	if idx >= len(insts) {
+		insts = append(insts, w.newCommGlobal(sorted))
+		w.groupComms[key] = insts
+	}
+	return insts[idx].handleFor(r)
+}
+
+// Dup duplicates the communicator (MPI_COMM_DUP).
+func (c *Comm) Dup() *Comm {
+	res := c.collective("MPI_Comm_dup", nil, c.barrierCost(),
+		func([]interface{}) interface{} {
+			return c.g.w.newCommGlobal(c.g.ranks)
+		})
+	ng := res.(*commGlobal)
+	return &Comm{g: ng, me: c.me, r: c.r}
+}
+
+// handleFor returns a Comm handle on g for world rank owner.
+func (g *commGlobal) handleFor(r *Rank) *Comm {
+	me, ok := g.index[r.id]
+	if !ok {
+		panic(fmt.Sprintf("mpi: rank %d not in comm%d", r.id, g.id))
+	}
+	return &Comm{g: g, me: me, r: r}
+}
+
+func putF64(b []byte, v float64) {
+	copy(b, PutFloat64s([]float64{v}))
+}
+
+func getF64(b []byte) float64 {
+	return GetFloat64s(b[:8])[0]
+}

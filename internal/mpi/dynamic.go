@@ -1,0 +1,121 @@
+package mpi
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Dynamic windows (MPI_WIN_CREATE_DYNAMIC + MPI_WIN_ATTACH/DETACH): a
+// window with no initial memory; each rank attaches and detaches local
+// regions at runtime, and origins address them by the target-assigned
+// base "address" (the return of Attach, exchanged out of band exactly
+// as real applications exchange attached addresses).
+//
+// Note the paper's Section II-B: Casper supports only the "allocate"
+// model, because sharing user-allocated memory with ghost processes
+// needs OS support (XPMEM/SMARTMAP). Accordingly, dynamic windows exist
+// only in the base runtime; core.Process deliberately does not
+// intercept them.
+
+// attachment is one attached region in a rank's dynamic address space.
+type attachment struct {
+	base int
+	reg  Region
+}
+
+// WinCreateDynamic creates a dynamic window over comm
+// (MPI_WIN_CREATE_DYNAMIC).
+func (r *Rank) WinCreateDynamic(c *Comm, info Info) *Win {
+	w := r.winCollective(c, Region{}, info, r.w.net.CreateWinCost(c.Size()))
+	w.g.dynamic = true
+	if w.g.attached == nil {
+		w.g.attached = make([][]attachment, len(c.g.ranks))
+		w.g.nextBase = make([]int, len(c.g.ranks))
+		for i := range w.g.nextBase {
+			w.g.nextBase[i] = dynBaseStart
+		}
+	}
+	return w
+}
+
+// dynBaseStart keeps attached "addresses" away from zero so that a
+// zero displacement is never silently valid.
+const dynBaseStart = 0x1000
+
+// Attach exposes local memory in the dynamic window (MPI_WIN_ATTACH)
+// and returns its base address for remote access. Local operation.
+func (w *Win) Attach(buf []byte) int {
+	r := w.r
+	r.mpiEnter()
+	defer r.mpiLeave()
+	if !w.g.dynamic {
+		panic("mpi: Attach on a non-dynamic window")
+	}
+	seg := r.w.newSegment(len(buf))
+	copy(seg.data, buf)
+	reg := Region{seg: seg, off: 0, n: len(buf)}
+	base := w.g.nextBase[w.me]
+	w.g.nextBase[w.me] += (len(buf)+MaxBasicSize-1)/MaxBasicSize*MaxBasicSize + MaxBasicSize
+	as := &w.g.attached[w.me]
+	*as = append(*as, attachment{base: base, reg: reg})
+	sort.Slice(*as, func(i, j int) bool { return (*as)[i].base < (*as)[j].base })
+	return base
+}
+
+// AttachRegion attaches an existing region (memory already managed by
+// the runtime, e.g. from another window's allocation) without copying.
+func (w *Win) AttachRegion(reg Region) int {
+	r := w.r
+	r.mpiEnter()
+	defer r.mpiLeave()
+	if !w.g.dynamic {
+		panic("mpi: AttachRegion on a non-dynamic window")
+	}
+	base := w.g.nextBase[w.me]
+	w.g.nextBase[w.me] += (reg.n+MaxBasicSize-1)/MaxBasicSize*MaxBasicSize + MaxBasicSize
+	as := &w.g.attached[w.me]
+	*as = append(*as, attachment{base: base, reg: reg})
+	sort.Slice(*as, func(i, j int) bool { return (*as)[i].base < (*as)[j].base })
+	return base
+}
+
+// AttachedBytes returns the memory attached at base on the calling
+// rank (for load/store access and verification).
+func (w *Win) AttachedBytes(base int) []byte {
+	for _, a := range w.g.attached[w.me] {
+		if a.base == base {
+			return a.reg.Bytes()
+		}
+	}
+	panic(fmt.Sprintf("mpi: no attachment at base %#x", base))
+}
+
+// Detach removes the attachment at base (MPI_WIN_DETACH). Operations
+// arriving for detached memory are erroneous and panic, as real MPI
+// would corrupt or crash.
+func (w *Win) Detach(base int) {
+	r := w.r
+	r.mpiEnter()
+	defer r.mpiLeave()
+	as := &w.g.attached[w.me]
+	for i, a := range *as {
+		if a.base == base {
+			*as = append((*as)[:i], (*as)[i+1:]...)
+			return
+		}
+	}
+	panic(fmt.Sprintf("mpi: Detach of unattached base %#x", base))
+}
+
+// resolveDynamic maps a target displacement to the attached region
+// containing [disp, disp+extent). Runs target-side at apply time — the
+// origin cannot bounds-check a dynamic window.
+func (g *winGlobal) resolveDynamic(target, disp, extent int) (Region, int) {
+	for _, a := range g.attached[target] {
+		if disp >= a.base && disp+extent <= a.base+a.reg.n {
+			return a.reg, disp - a.base
+		}
+	}
+	panic(fmt.Sprintf("mpi: dynamic-window access at [%#x,%#x) on rank %d hits no attached memory",
+		disp, disp+extent, g.comm.ranks[target]))
+}

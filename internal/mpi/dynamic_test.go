@@ -1,0 +1,177 @@
+package mpi
+
+import (
+	"testing"
+)
+
+func TestDynamicWindowPutGet(t *testing.T) {
+	var got []float64
+	mustRun(t, testConfig(2, 2), func(r *Rank) {
+		c := r.CommWorld()
+		win := r.WinCreateDynamic(c, nil)
+		var base int
+		if r.Rank() == 1 {
+			base = win.Attach(make([]byte, 64))
+		}
+		// Exchange the attached address out of band, as real apps do.
+		if r.Rank() == 1 {
+			c.Send(0, 1, PutInt64(int64(base)))
+		} else {
+			data, _ := c.Recv(1, 1)
+			base = int(GetInt64(data))
+		}
+		c.Barrier()
+		if r.Rank() == 0 {
+			win.LockAll(AssertNone)
+			win.Put(PutFloat64s([]float64{4.5, -1}), 1, base+16, TypeOf(Float64, 2))
+			dst := make([]byte, 16)
+			win.Get(dst, 1, base+16, TypeOf(Float64, 2))
+			win.FlushAll()
+			win.UnlockAll()
+			got = GetFloat64s(dst)
+		}
+		c.Barrier()
+		if r.Rank() == 1 {
+			mem := GetFloat64s(win.AttachedBytes(base))
+			if mem[2] != 4.5 || mem[3] != -1 {
+				t.Errorf("attached memory = %v", mem)
+			}
+		}
+	})
+	if got[0] != 4.5 || got[1] != -1 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestDynamicWindowMultipleAttachments(t *testing.T) {
+	mustRun(t, testConfig(2, 2), func(r *Rank) {
+		c := r.CommWorld()
+		win := r.WinCreateDynamic(c, nil)
+		var b1, b2 int
+		if r.Rank() == 1 {
+			b1 = win.Attach(make([]byte, 32))
+			b2 = win.Attach(make([]byte, 32))
+			if b1 == b2 {
+				t.Error("attachments share a base")
+			}
+			c.Send(0, 1, append(PutInt64(int64(b1)), PutInt64(int64(b2))...))
+		} else {
+			data, _ := c.Recv(1, 1)
+			b1, b2 = int(GetInt64(data)), int(GetInt64(data[8:]))
+		}
+		c.Barrier()
+		if r.Rank() == 0 {
+			win.LockAll(AssertNone)
+			win.Put(PutFloat64s([]float64{1}), 1, b1, Scalar(Float64))
+			win.Put(PutFloat64s([]float64{2}), 1, b2, Scalar(Float64))
+			win.FlushAll()
+			win.UnlockAll()
+		}
+		c.Barrier()
+		if r.Rank() == 1 {
+			if GetFloat64s(win.AttachedBytes(b1))[0] != 1 ||
+				GetFloat64s(win.AttachedBytes(b2))[0] != 2 {
+				t.Error("puts landed in wrong attachments")
+			}
+		}
+	})
+}
+
+func TestDynamicAccessToUnattachedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	mustRun(t, testConfig(2, 2), func(r *Rank) {
+		c := r.CommWorld()
+		win := r.WinCreateDynamic(c, nil)
+		c.Barrier()
+		if r.Rank() == 0 {
+			win.LockAll(AssertNone)
+			win.Put(PutFloat64s([]float64{1}), 1, dynBaseStart, Scalar(Float64))
+			win.UnlockAll()
+		}
+		c.Barrier()
+	})
+}
+
+func TestDynamicDetachMakesAccessErroneous(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	mustRun(t, testConfig(2, 2), func(r *Rank) {
+		c := r.CommWorld()
+		win := r.WinCreateDynamic(c, nil)
+		var base int
+		if r.Rank() == 1 {
+			base = win.Attach(make([]byte, 16))
+			win.Detach(base)
+			c.Send(0, 1, PutInt64(int64(base)))
+		} else {
+			data, _ := c.Recv(1, 1)
+			base = int(GetInt64(data))
+		}
+		c.Barrier()
+		if r.Rank() == 0 {
+			win.LockAll(AssertNone)
+			win.Put(PutFloat64s([]float64{1}), 1, base, Scalar(Float64))
+			win.UnlockAll()
+		}
+		c.Barrier()
+	})
+}
+
+func TestAttachOnNormalWindowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	mustRun(t, testConfig(2, 2), func(r *Rank) {
+		win, _ := r.WinAllocateRegion(r.CommWorld(), 8, nil)
+		win.Attach(make([]byte, 8))
+	})
+}
+
+func TestDetachUnattachedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	mustRun(t, testConfig(2, 2), func(r *Rank) {
+		win := r.WinCreateDynamic(r.CommWorld(), nil)
+		win.Detach(dynBaseStart)
+	})
+}
+
+func TestAttachRegionSharesMemory(t *testing.T) {
+	mustRun(t, testConfig(2, 2), func(r *Rank) {
+		c := r.CommWorld()
+		// Expose part of an allocated window's memory through a dynamic
+		// window too: both views must alias.
+		w1, buf := r.WinAllocateRegion(c, 32, nil)
+		dyn := r.WinCreateDynamic(c, nil)
+		var base int
+		if r.Rank() == 1 {
+			base = dyn.AttachRegion(w1.Region())
+			c.Send(0, 1, PutInt64(int64(base)))
+		} else {
+			data, _ := c.Recv(1, 1)
+			base = int(GetInt64(data))
+		}
+		c.Barrier()
+		if r.Rank() == 0 {
+			dyn.LockAll(AssertNone)
+			dyn.Put(PutFloat64s([]float64{6}), 1, base+8, Scalar(Float64))
+			dyn.UnlockAll()
+		}
+		c.Barrier()
+		if r.Rank() == 1 && GetFloat64s(buf)[1] != 6 {
+			t.Errorf("aliased write not visible: %v", GetFloat64s(buf))
+		}
+	})
+}

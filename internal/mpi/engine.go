@@ -1,0 +1,119 @@
+package mpi
+
+import (
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// rankEngine is a rank's target-side RMA progress engine: the simulated
+// MPI stack that services incoming software active messages. It is the
+// heart of the reproduction — which entity runs this engine, and when,
+// is exactly what distinguishes the paper's progress models:
+//
+//   - ProgressNone: the rank's own core services AMs, but only while the
+//     rank is inside an MPI call (inMPI > 0). AMs arriving while the rank
+//     computes wait in pending.
+//   - ProgressThread: a background thread services AMs immediately, with
+//     the ThreadAM lock-contention multiplier; when oversubscribed it
+//     also steals the host's compute cycles.
+//   - ProgressInterrupt: AMs arriving while the rank is outside MPI
+//     raise an interrupt — the handler pays InterruptCost and steals the
+//     host's cycles (the DMAPP model).
+//
+// A Casper ghost process needs no special mode: it parks inside MPI_RECV
+// forever, so inMPI is always > 0 and its AMs are serviced on arrival at
+// full speed — the paper's central mechanism.
+type rankEngine struct {
+	r       *Rank
+	srv     *sim.Server // serial AM service pipeline of this rank
+	inMPI   int         // MPI call nesting depth
+	pending []*delivery // software AMs deferred until the next MPI entry
+	stolen  sim.Duration
+}
+
+func (e *rankEngine) init(r *Rank) {
+	e.r = r
+	e.srv = sim.NewServer(r.w.eng)
+}
+
+// delivery is one software AM that has arrived at the target NIC and
+// needs target-side CPU to complete.
+type delivery struct {
+	op      *rmaOp
+	arrived sim.Time
+}
+
+// enterMPI marks the rank inside MPI, draining any deferred AMs into the
+// service pipeline (the poll that blocking MPI calls perform).
+func (e *rankEngine) enterMPI() {
+	e.inMPI++
+	if e.inMPI == 1 && len(e.pending) > 0 {
+		ds := e.pending
+		e.pending = nil
+		for _, d := range ds {
+			e.service(d, 1.0, 0)
+		}
+	}
+}
+
+func (e *rankEngine) leaveMPI() {
+	e.inMPI--
+	if e.inMPI < 0 {
+		panic("mpi: unbalanced leaveMPI")
+	}
+}
+
+// deliver is invoked (in engine context) when a software AM arrives at
+// this rank.
+func (e *rankEngine) deliver(d *delivery) {
+	switch e.r.w.cfg.Progress {
+	case ProgressNone:
+		if e.inMPI > 0 {
+			e.service(d, 1.0, 0)
+		} else {
+			e.pending = append(e.pending, d)
+		}
+	case ProgressThread:
+		cost := e.service(d, e.r.w.net.ThreadAM, 0)
+		if e.r.w.cfg.ThreadOversubscribed {
+			// The progress thread shares the host core: its service
+			// time is stolen from the host's computation.
+			e.stolen += cost
+			e.r.stats.StolenTime += cost
+		}
+	case ProgressInterrupt:
+		if e.inMPI > 0 {
+			e.service(d, 1.0, 0)
+		} else {
+			cost := e.service(d, 1.0, e.r.w.net.InterruptCost)
+			e.r.stats.Interrupts++
+			e.stolen += cost
+			e.r.stats.StolenTime += cost
+		}
+	}
+}
+
+// service submits the AM to the rank's serial pipeline. factor scales the
+// processing cost (thread lock contention); extra adds a fixed overhead
+// (interrupt entry). It returns the total service time charged.
+func (e *rankEngine) service(d *delivery, factor float64, extra sim.Duration) sim.Duration {
+	op := d.op
+	cost := sim.Duration(float64(e.r.w.net.AMCost(op.bytes(), op.contiguous()))*factor) + extra
+	end := e.srv.Submit(d.arrived, cost, func() { op.applyAndAck() })
+	op.svcStart, op.svcEnd, op.svcOwner = end.Add(-cost), end, e.r.id
+	e.r.stats.SoftwareAMs++
+	e.r.stats.BytesIn += int64(op.bytes())
+	if tr := e.r.w.tracer; tr.Enabled() {
+		tr.RecordService(trace.Service{
+			Rank:      e.r.id,
+			Origin:    op.win.comm.ranks[op.origin],
+			Kind:      op.kind.String(),
+			Bytes:     op.bytes(),
+			Arrived:   d.arrived,
+			Start:     op.svcStart,
+			End:       op.svcEnd,
+			Interrupt: extra > 0,
+		})
+	}
+	return cost
+}

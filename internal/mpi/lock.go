@@ -1,0 +1,84 @@
+package mpi
+
+// lockManager arbitrates passive-target locks for one target rank of one
+// window. Shared locks coexist; an exclusive lock excludes everything.
+// Requests are granted in arrival order (FIFO fairness), so exclusive
+// epochs from different origins to the same target serialize — the
+// serialization cost that motivates Casper's per-user-process
+// overlapping windows (Section III-A).
+type lockManager struct {
+	shared    int
+	exclusive bool
+	queue     []*lockReq
+	grants    int64 // total grants, for tests/inspection
+}
+
+type lockReq struct {
+	origin int
+	excl   bool
+	grant  func() // invoked in engine context at grant time
+}
+
+// compatible reports whether a request can be granted now. To preserve
+// FIFO fairness a shared request behind a queued exclusive one waits.
+func (m *lockManager) compatible(req *lockReq) bool {
+	if m.exclusive {
+		return false
+	}
+	if req.excl {
+		return m.shared == 0
+	}
+	return len(m.queue) == 0
+}
+
+// request is invoked in engine context when a lock request arrives.
+func (m *lockManager) request(req *lockReq) {
+	if m.compatible(req) {
+		m.admit(req)
+		return
+	}
+	m.queue = append(m.queue, req)
+}
+
+func (m *lockManager) admit(req *lockReq) {
+	if req.excl {
+		m.exclusive = true
+	} else {
+		m.shared++
+	}
+	m.grants++
+	req.grant()
+}
+
+// release is invoked in engine context when a release arrives.
+func (m *lockManager) release(origin int, excl bool) {
+	if excl {
+		if !m.exclusive {
+			panic("mpi: exclusive release without exclusive hold")
+		}
+		m.exclusive = false
+	} else {
+		if m.shared <= 0 {
+			panic("mpi: shared release without shared hold")
+		}
+		m.shared--
+	}
+	// Admit from the queue head while compatible.
+	for len(m.queue) > 0 {
+		head := m.queue[0]
+		if head.excl {
+			if m.exclusive || m.shared > 0 {
+				break
+			}
+		} else if m.exclusive {
+			break
+		}
+		m.queue = m.queue[1:]
+		m.admit(head)
+	}
+}
+
+// Held reports the current hold state, for tests.
+func (m *lockManager) held() (shared int, exclusive bool) {
+	return m.shared, m.exclusive
+}

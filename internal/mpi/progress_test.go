@@ -1,0 +1,386 @@
+package mpi
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// overlapWorkload is the Fig. 4(a) microbenchmark shape: rank 0 does
+// lockall–accumulate–flush–unlockall to rank 1 while rank 1 computes for
+// wait; it returns rank 0's epoch time.
+func overlapWorkload(t *testing.T, cfg Config, wait sim.Duration) (originTime sim.Duration, w *World) {
+	t.Helper()
+	w = mustRun(t, cfg, func(r *Rank) {
+		c := r.CommWorld()
+		win, _ := r.WinAllocate(c, 64, nil)
+		c.Barrier()
+		if r.Rank() == 0 {
+			start := r.Now()
+			win.LockAll(AssertNone)
+			win.Accumulate(PutFloat64s([]float64{1}), 1, 0, Scalar(Float64), OpSum)
+			win.UnlockAll()
+			originTime = r.Now().Sub(start)
+		} else {
+			r.Compute(wait)
+		}
+		c.Barrier()
+	})
+	return originTime, w
+}
+
+func TestNoProgressStallsOnBusyTarget(t *testing.T) {
+	// The motivating behaviour: without async progress, the origin's
+	// epoch takes roughly the target's compute time.
+	wait := 200 * sim.Microsecond
+	elapsed, _ := overlapWorkload(t, testConfig(2, 2), wait)
+	if elapsed < wait {
+		t.Fatalf("origin epoch %v did not stall behind target compute %v", elapsed, wait)
+	}
+	if elapsed > wait+50*sim.Microsecond {
+		t.Fatalf("origin epoch %v unreasonably larger than %v", elapsed, wait)
+	}
+}
+
+func TestNoProgressOriginTimeScalesWithTargetWait(t *testing.T) {
+	short, _ := overlapWorkload(t, testConfig(2, 2), 50*sim.Microsecond)
+	long, _ := overlapWorkload(t, testConfig(2, 2), 400*sim.Microsecond)
+	if long <= short {
+		t.Fatalf("origin time not growing with target wait: %v vs %v", short, long)
+	}
+}
+
+func TestRecvParkedTargetProvidesProgress(t *testing.T) {
+	// A target parked inside MPI_Recv (the Casper ghost posture)
+	// services software AMs immediately: the origin does not stall.
+	var originTime sim.Duration
+	mustRun(t, testConfig(2, 2), func(r *Rank) {
+		c := r.CommWorld()
+		win, _ := r.WinAllocate(c, 64, nil)
+		c.Barrier()
+		if r.Rank() == 0 {
+			start := r.Now()
+			win.LockAll(AssertNone)
+			win.Accumulate(PutFloat64s([]float64{1}), 1, 0, Scalar(Float64), OpSum)
+			win.UnlockAll()
+			originTime = r.Now().Sub(start)
+			c.Send(1, 99, []byte("done")) // release the parked target
+		} else {
+			c.Recv(0, 99) // parked inside MPI the whole time
+		}
+		c.Barrier()
+	})
+	if originTime > 20*sim.Microsecond {
+		t.Fatalf("origin stalled %v despite target parked in MPI", originTime)
+	}
+}
+
+func TestThreadProgressAvoidsStall(t *testing.T) {
+	cfg := testConfig(2, 2)
+	cfg.Progress = ProgressThread
+	wait := 300 * sim.Microsecond
+	elapsed, _ := overlapWorkload(t, cfg, wait)
+	if elapsed > 50*sim.Microsecond {
+		t.Fatalf("thread progress still stalled: %v", elapsed)
+	}
+}
+
+func TestThreadProgressCostsMoreThanGhostPosture(t *testing.T) {
+	// Thread-multiple safety makes the origin's MPI calls more
+	// expensive than with no progress thread (Fig. 4 commentary).
+	base := testConfig(2, 2)
+	thread := testConfig(2, 2)
+	thread.Progress = ProgressThread
+	// Use a parked-in-MPI target for the base so neither run stalls.
+	var baseTime sim.Duration
+	mustRun(t, base, func(r *Rank) {
+		c := r.CommWorld()
+		win, _ := r.WinAllocate(c, 64, nil)
+		c.Barrier()
+		if r.Rank() == 0 {
+			start := r.Now()
+			win.LockAll(AssertNone)
+			for i := 0; i < 16; i++ {
+				win.Accumulate(PutFloat64s([]float64{1}), 1, 0, Scalar(Float64), OpSum)
+			}
+			win.UnlockAll()
+			baseTime = r.Now().Sub(start)
+			c.Send(1, 99, nil)
+		} else {
+			c.Recv(0, 99)
+		}
+		c.Barrier()
+	})
+	threadTime, _ := overlapWorkloadN(t, thread, 0, 16)
+	if threadTime <= baseTime {
+		t.Fatalf("thread progress (%v) should cost more than ghost posture (%v)",
+			threadTime, baseTime)
+	}
+}
+
+// overlapWorkloadN issues n accumulates.
+func overlapWorkloadN(t *testing.T, cfg Config, wait sim.Duration, n int) (sim.Duration, *World) {
+	t.Helper()
+	var originTime sim.Duration
+	w := mustRun(t, cfg, func(r *Rank) {
+		c := r.CommWorld()
+		win, _ := r.WinAllocate(c, 64, nil)
+		c.Barrier()
+		if r.Rank() == 0 {
+			start := r.Now()
+			win.LockAll(AssertNone)
+			for i := 0; i < n; i++ {
+				win.Accumulate(PutFloat64s([]float64{1}), 1, 0, Scalar(Float64), OpSum)
+			}
+			win.UnlockAll()
+			originTime = r.Now().Sub(start)
+		} else if wait > 0 {
+			r.Compute(wait)
+		}
+		c.Barrier()
+	})
+	return originTime, w
+}
+
+func TestInterruptProgressAvoidsStall(t *testing.T) {
+	cfg := testConfig(2, 2)
+	cfg.Progress = ProgressInterrupt
+	elapsed, w := overlapWorkload(t, cfg, 300*sim.Microsecond)
+	if elapsed > 50*sim.Microsecond {
+		t.Fatalf("interrupt progress still stalled: %v", elapsed)
+	}
+	if got := w.RankByID(1).Stats().Interrupts; got != 1 {
+		t.Fatalf("interrupts = %d, want 1", got)
+	}
+}
+
+func TestInterruptCountScalesWithOps(t *testing.T) {
+	cfg := testConfig(2, 2)
+	cfg.Progress = ProgressInterrupt
+	const n = 24
+	_, w := overlapWorkloadN(t, cfg, 500*sim.Microsecond, n)
+	if got := w.RankByID(1).Stats().Interrupts; got != n {
+		t.Fatalf("interrupts = %d, want %d", got, n)
+	}
+}
+
+func TestInterruptsStealTargetComputeCycles(t *testing.T) {
+	// The Fig. 4(c) effect: interrupts extend the busy target's
+	// computation.
+	cfg := testConfig(2, 2)
+	cfg.Progress = ProgressInterrupt
+	const n = 16
+	wait := 200 * sim.Microsecond
+	var computeTook sim.Duration
+	w := mustRun(t, cfg, func(r *Rank) {
+		c := r.CommWorld()
+		win, _ := r.WinAllocate(c, 64, nil)
+		c.Barrier()
+		if r.Rank() == 0 {
+			win.LockAll(AssertNone)
+			for i := 0; i < n; i++ {
+				win.Accumulate(PutFloat64s([]float64{1}), 1, 0, Scalar(Float64), OpSum)
+			}
+			win.UnlockAll()
+		} else {
+			start := r.Now()
+			r.Compute(wait)
+			computeTook = r.Now().Sub(start)
+		}
+		c.Barrier()
+	})
+	st := w.RankByID(1).Stats()
+	if st.StolenTime == 0 {
+		t.Fatal("no stolen time recorded")
+	}
+	if computeTook < wait+st.StolenTime/2 {
+		t.Fatalf("compute %v not extended by stolen %v", computeTook, st.StolenTime)
+	}
+}
+
+func TestOversubscribedThreadStealsCycles(t *testing.T) {
+	cfg := testConfig(2, 2)
+	cfg.Progress = ProgressThread
+	cfg.ThreadOversubscribed = true
+	wait := 200 * sim.Microsecond
+	var computeTook sim.Duration
+	w := mustRun(t, cfg, func(r *Rank) {
+		c := r.CommWorld()
+		win, _ := r.WinAllocate(c, 64, nil)
+		c.Barrier()
+		if r.Rank() == 0 {
+			win.LockAll(AssertNone)
+			for i := 0; i < 16; i++ {
+				win.Accumulate(PutFloat64s([]float64{1}), 1, 0, Scalar(Float64), OpSum)
+			}
+			win.UnlockAll()
+		} else {
+			start := r.Now()
+			r.Compute(wait)
+			computeTook = r.Now().Sub(start)
+		}
+		c.Barrier()
+	})
+	if w.RankByID(1).Stats().StolenTime == 0 {
+		t.Fatal("oversubscribed thread stole no cycles")
+	}
+	if computeTook <= wait {
+		t.Fatal("target compute not extended")
+	}
+}
+
+func TestDedicatedThreadDoesNotStealCycles(t *testing.T) {
+	cfg := testConfig(2, 2)
+	cfg.Progress = ProgressThread
+	cfg.ThreadOversubscribed = false
+	_, w := overlapWorkloadN(t, cfg, 200*sim.Microsecond, 8)
+	if got := w.RankByID(1).Stats().StolenTime; got != 0 {
+		t.Fatalf("dedicated thread stole %v", got)
+	}
+}
+
+func TestHardwarePutNeedsNoProgress(t *testing.T) {
+	// On the DMAPP-style platform a contiguous put to a computing
+	// target completes without any progress help.
+	cfg := testConfig(2, 2)
+	cfg.Net = hwNet()
+	var originTime sim.Duration
+	mustRun(t, cfg, func(r *Rank) {
+		c := r.CommWorld()
+		win, _ := r.WinAllocate(c, 64, nil)
+		c.Barrier()
+		if r.Rank() == 0 {
+			start := r.Now()
+			win.LockAll(AssertNone)
+			win.Put(PutFloat64s([]float64{1}), 1, 0, Scalar(Float64))
+			win.UnlockAll()
+			originTime = r.Now().Sub(start)
+		} else {
+			r.Compute(300 * sim.Microsecond)
+		}
+		c.Barrier()
+	})
+	if originTime > 20*sim.Microsecond {
+		t.Fatalf("hardware put stalled: %v", originTime)
+	}
+}
+
+func TestSoftwareAMsServicedInArrivalOrderSerially(t *testing.T) {
+	// A target's AM pipeline is a serial server: n accumulates cost at
+	// least n * AMBase of target time, observable as origin epoch time
+	// when the target is parked in MPI.
+	cfg := testConfig(2, 2)
+	few, _ := overlapWorkloadRecvTarget(t, cfg, 4)
+	many, _ := overlapWorkloadRecvTarget(t, cfg, 64)
+	if many <= few {
+		t.Fatalf("service not serialized: %v for 64 ops vs %v for 4", many, few)
+	}
+}
+
+func overlapWorkloadRecvTarget(t *testing.T, cfg Config, n int) (sim.Duration, *World) {
+	t.Helper()
+	var originTime sim.Duration
+	w := mustRun(t, cfg, func(r *Rank) {
+		c := r.CommWorld()
+		win, _ := r.WinAllocate(c, 64, nil)
+		c.Barrier()
+		if r.Rank() == 0 {
+			start := r.Now()
+			win.LockAll(AssertNone)
+			for i := 0; i < n; i++ {
+				win.Accumulate(PutFloat64s([]float64{1}), 1, 0, Scalar(Float64), OpSum)
+			}
+			win.UnlockAll()
+			originTime = r.Now().Sub(start)
+			c.Send(1, 99, nil)
+		} else {
+			c.Recv(0, 99)
+		}
+		c.Barrier()
+	})
+	return originTime, w
+}
+
+func TestTracerAttributesProgressStall(t *testing.T) {
+	run := func(targetParksInMPI bool) sim.Duration {
+		cfg := testConfig(2, 2)
+		w, err := NewWorld(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := trace.New()
+		w.SetTracer(tr)
+		w.Launch(func(r *Rank) {
+			c := r.CommWorld()
+			win, _ := r.WinAllocate(c, 64, nil)
+			c.Barrier()
+			if r.Rank() == 0 {
+				win.LockAll(AssertNone)
+				win.Accumulate(PutFloat64s([]float64{1}), 1, 0, Scalar(Float64), OpSum)
+				win.UnlockAll()
+				c.Send(1, 9, nil)
+			} else if targetParksInMPI {
+				c.Recv(0, 9)
+			} else {
+				r.Compute(300 * sim.Microsecond)
+				c.Recv(0, 9)
+			}
+			c.Barrier()
+		})
+		if err := w.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if len(tr.Services()) != 1 {
+			t.Fatalf("%d services traced", len(tr.Services()))
+		}
+		return tr.TotalDelay()
+	}
+	stalled := run(false)
+	parked := run(true)
+	if stalled < 250*sim.Microsecond {
+		t.Fatalf("tracer missed the progress stall: %v", stalled)
+	}
+	if parked > 5*sim.Microsecond {
+		t.Fatalf("parked target should have near-zero stall: %v", parked)
+	}
+}
+
+func TestTracerRecordsHardwareOps(t *testing.T) {
+	cfg := testConfig(2, 2)
+	cfg.Net = hwNet()
+	w, err := NewWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := trace.New()
+	w.SetTracer(tr)
+	w.Launch(func(r *Rank) {
+		c := r.CommWorld()
+		win, _ := r.WinAllocate(c, 64, nil)
+		c.Barrier()
+		if r.Rank() == 0 {
+			win.LockAll(AssertNone)
+			win.Put(PutFloat64s([]float64{1}), 1, 0, Scalar(Float64))
+			win.UnlockAll()
+		}
+		c.Barrier()
+	})
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	ss := tr.Services()
+	if len(ss) != 1 || !ss[0].Hardware || ss[0].Rank != -1 {
+		t.Fatalf("services = %+v", ss)
+	}
+}
+
+func TestComputeWithoutInterferenceIsExact(t *testing.T) {
+	mustRun(t, testConfig(2, 2), func(r *Rank) {
+		start := r.Now()
+		r.Compute(123 * sim.Microsecond)
+		if got := r.Now().Sub(start); got != 123*sim.Microsecond {
+			t.Errorf("compute took %v", got)
+		}
+	})
+}

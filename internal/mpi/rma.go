@@ -1,0 +1,377 @@
+package mpi
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// OpKind enumerates RMA communication operations.
+type OpKind int
+
+// RMA operation kinds.
+const (
+	KindPut OpKind = iota
+	KindGet
+	KindAcc
+	KindGetAcc
+	KindFetchOp
+	KindCAS
+)
+
+// String implements fmt.Stringer.
+func (k OpKind) String() string {
+	switch k {
+	case KindPut:
+		return "PUT"
+	case KindGet:
+		return "GET"
+	case KindAcc:
+		return "ACC"
+	case KindGetAcc:
+		return "GET_ACC"
+	case KindFetchOp:
+		return "FETCH_OP"
+	case KindCAS:
+		return "CAS"
+	default:
+		return fmt.Sprintf("op(%d)", int(k))
+	}
+}
+
+// isWrite reports whether the op modifies target memory.
+func (k OpKind) isWrite() bool { return k != KindGet }
+
+// isAtomicFamily reports whether MPI guarantees per-element atomicity
+// and same-origin ordering for this kind (the accumulate family,
+// MPI-3 §11.7.1).
+func (k OpKind) isAtomicFamily() bool {
+	return k == KindAcc || k == KindGetAcc || k == KindFetchOp || k == KindCAS
+}
+
+// rmaOp is one in-flight RMA operation.
+type rmaOp struct {
+	win    *winGlobal
+	kind   OpKind
+	origin int // comm rank
+	target int
+	disp   int
+	dt     Datatype
+	op     Op
+	data   []byte // packed origin payload (put/acc/getacc/fao src; cas new value)
+	cmp    []byte // cas compare value
+	dst    []byte // origin result destination (get/getacc/fao/cas)
+	result []byte // captured at apply time, delivered at ack
+
+	excl bool // origin held an exclusive lock on the target when issuing
+	pscw bool // issued within a PSCW access epoch
+	seq  int64
+
+	pending *sim.CompletionSet // origin-side ack tracking (flush)
+	req     *RMARequest        // request-based op handle (Rput/Rget), or nil
+
+	// Service bookkeeping for the validator.
+	svcStart, svcEnd sim.Time
+	svcOwner         int // world rank of the servicing engine; -1 for NIC
+}
+
+// bytes returns the payload size that determines processing and wire
+// cost.
+func (o *rmaOp) bytes() int { return o.dt.Size() }
+
+func (o *rmaOp) contiguous() bool { return o.dt.Contiguous() }
+
+// hardwareEligible reports whether this op runs on the simulated NIC
+// without target CPU: contiguous put/get on platforms with hardware RMA.
+// Accumulates and noncontiguous transfers are always software, matching
+// both evaluation platforms in the paper.
+func (o *rmaOp) hardwareEligible() bool {
+	if o.kind != KindPut && o.kind != KindGet {
+		return false
+	}
+	return o.win.w.net.HardwareEligible(o.dt.Contiguous())
+}
+
+// wireOutBytes is the request payload on the wire origin->target.
+func (o *rmaOp) wireOutBytes() int {
+	if o.kind == KindGet {
+		return 16 // request header only
+	}
+	return o.bytes()
+}
+
+// ackBytes is the response payload target->origin.
+func (o *rmaOp) ackBytes() int {
+	switch o.kind {
+	case KindGet, KindGetAcc:
+		return o.bytes()
+	case KindFetchOp, KindCAS:
+		return o.dt.Basic.Size()
+	default:
+		return 0 // completion ack only
+	}
+}
+
+// --- Issue path (origin side) ----------------------------------------
+
+// Put implements Window.
+func (w *Win) Put(src []byte, target int, disp int, dt Datatype) {
+	w.issue(&rmaOp{kind: KindPut, data: src, target: target, disp: disp, dt: dt, op: OpReplace})
+}
+
+// Get implements Window.
+func (w *Win) Get(dst []byte, target int, disp int, dt Datatype) {
+	w.issue(&rmaOp{kind: KindGet, dst: dst, target: target, disp: disp, dt: dt, op: OpNoOp})
+}
+
+// Accumulate implements Window.
+func (w *Win) Accumulate(src []byte, target int, disp int, dt Datatype, op Op) {
+	w.issue(&rmaOp{kind: KindAcc, data: src, target: target, disp: disp, dt: dt, op: op})
+}
+
+// GetAccumulate implements Window.
+func (w *Win) GetAccumulate(src, result []byte, target int, disp int, dt Datatype, op Op) {
+	w.issue(&rmaOp{kind: KindGetAcc, data: src, dst: result, target: target, disp: disp, dt: dt, op: op})
+}
+
+// FetchAndOp implements Window.
+func (w *Win) FetchAndOp(src, result []byte, target int, disp int, b BasicType, op Op) {
+	w.issue(&rmaOp{kind: KindFetchOp, data: src, dst: result, target: target, disp: disp,
+		dt: Scalar(b), op: op})
+}
+
+// CompareAndSwap implements Window.
+func (w *Win) CompareAndSwap(compare, origin, result []byte, target int, disp int, b BasicType) {
+	w.issue(&rmaOp{kind: KindCAS, data: origin, cmp: compare, dst: result, target: target,
+		disp: disp, dt: Scalar(b), op: OpReplace})
+}
+
+// issue validates the epoch, charges origin-side cost, and either sends
+// the op or queues it behind a pending lazy lock acquisition.
+func (w *Win) issue(op *rmaOp) {
+	r := w.r
+	r.mpiEnter()
+	defer r.mpiLeave()
+	r.proc.Advance(r.issueCost())
+
+	if err := op.dt.Validate(); err != nil {
+		panic(err)
+	}
+	if !w.g.dynamic {
+		// Dynamic windows cannot be bounds-checked at the origin; the
+		// target resolves the address at apply time.
+		reg := w.g.regions[op.target]
+		if op.disp < 0 || op.disp+op.dt.Extent() > reg.n {
+			panic(fmt.Sprintf("mpi: %v at disp %d extent %d outside %d-byte window of target %d",
+				op.kind, op.disp, op.dt.Extent(), reg.n, op.target))
+		}
+	}
+
+	op.win = w.g
+	op.origin = w.me
+	w.opSeq++
+	op.seq = w.opSeq
+	if op.data != nil {
+		op.data = append([]byte(nil), op.data[:op.dt.Size()]...)
+	}
+	if op.cmp != nil {
+		op.cmp = append([]byte(nil), op.cmp...)
+	}
+	r.stats.OpsIssued++
+
+	var queueOn *targetState
+	switch {
+	case w.access != nil: // PSCW access epoch
+		if !inGroup(w.access.group, op.target) {
+			panic(fmt.Sprintf("mpi: PSCW op to target %d outside access group", op.target))
+		}
+		op.pscw = true
+		w.access.issued[op.target]++
+		op.pending = &w.target(op.target).pending
+	case w.fenceActive:
+		op.pending = &w.target(op.target).pending
+	default: // passive target
+		ts, ok := w.targets[op.target]
+		if !ok || !ts.locked {
+			if w.lockAll {
+				ts = w.target(op.target)
+				ts.locked = true
+				ts.viaAll = true
+				ts.lock = LockShared
+			} else {
+				panic(fmt.Sprintf("mpi: %v to target %d without an epoch", op.kind, op.target))
+			}
+		}
+		op.excl = ts.lock == LockExclusive
+		op.pending = &ts.pending
+		if !ts.requested {
+			w.requestLock(op.target, ts)
+		}
+		if !ts.granted.Done() {
+			queueOn = ts
+		}
+	}
+
+	// Count the op as outstanding at issue time, so that flushes and
+	// fences also wait for operations still queued behind a pending
+	// lazy lock acquisition.
+	w.g.inflight.Add(1)
+	op.pending.Add(1)
+	if op.req != nil {
+		op.req.pending.Add(1)
+	}
+	if queueOn != nil {
+		queueOn.queued = append(queueOn.queued, op)
+		return
+	}
+	w.send(op)
+}
+
+func inGroup(group []int, t int) bool {
+	for _, g := range group {
+		if g == t {
+			return true
+		}
+	}
+	return false
+}
+
+// send puts the op on the wire. Runs in the origin's simulation context;
+// in-flight accounting happened at issue. Delivery is FIFO per
+// (origin, target) channel, as on a connection-oriented transport.
+func (w *Win) send(op *rmaOp) {
+	g := w.g
+	r := w.r
+	eng := r.w.eng
+	targetWorld := g.comm.ranks[op.target]
+	wire := r.transferTo(targetWorld, op.wireOutBytes())
+	tr := g.rankOf(op.target)
+	ts := w.target(op.target)
+	arrival := eng.Now().Add(wire)
+	if arrival <= ts.lastArrival {
+		arrival = ts.lastArrival + 1
+	}
+	ts.lastArrival = arrival
+	if op.hardwareEligible() {
+		eng.At(arrival, func() { op.applyHardware(tr) })
+		return
+	}
+	eng.At(arrival, func() {
+		tr.engine.deliver(&delivery{op: op, arrived: eng.Now()})
+	})
+}
+
+// --- Apply path (target side) ----------------------------------------
+
+// targetRegion resolves the op's destination memory: the static region
+// for normal windows, the containing attachment for dynamic ones.
+func (o *rmaOp) targetRegion() (Region, int) {
+	if o.win.dynamic {
+		return o.win.resolveDynamic(o.target, o.disp, o.dt.Extent())
+	}
+	return o.win.regions[o.target], o.disp
+}
+
+// apply mutates the target memory. Runs in engine context at the moment
+// the op takes effect.
+func (o *rmaOp) apply() {
+	reg, disp := o.targetRegion()
+	mem := reg.seg.data
+	base := reg.off + disp
+	switch o.kind {
+	case KindPut:
+		accumulate(OpReplace, o.dt, mem, base, o.data)
+	case KindGet:
+		o.result = gather(o.dt, mem, base)
+	case KindAcc:
+		accumulate(o.op, o.dt, mem, base, o.data)
+	case KindGetAcc:
+		o.result = gather(o.dt, mem, base)
+		accumulate(o.op, o.dt, mem, base, o.data)
+	case KindFetchOp:
+		o.result = gather(o.dt, mem, base)
+		accumulate(o.op, o.dt, mem, base, o.data)
+	case KindCAS:
+		es := o.dt.Basic.Size()
+		o.result = append([]byte(nil), mem[base:base+es]...)
+		if bytesEqual(o.result, o.cmp[:es]) {
+			copy(mem[base:base+es], o.data[:es])
+		}
+	}
+	if o.pscw {
+		p := o.win.pscwState()
+		if p.applied[o.target] == nil {
+			p.applied[o.target] = map[int]int64{}
+		}
+		p.applied[o.target][o.origin]++
+		p.sig.Broadcast()
+	}
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// applyAndAck is called when the target's progress engine finishes
+// servicing a software AM: apply, then send the completion ack (with any
+// result data) back to the origin. The op's service interval and owner
+// were recorded by the engine at submission.
+func (o *rmaOp) applyAndAck() {
+	o.apply()
+	if v := o.win.w.validator; v != nil {
+		reg, disp := o.targetRegion()
+		v.recordApply(o, reg, disp, o.svcOwner)
+	}
+	o.win.inflight.Done()
+	o.ack()
+}
+
+// applyHardware is the NIC path: apply at arrival with no target CPU.
+func (o *rmaOp) applyHardware(tr *Rank) {
+	now := o.win.w.eng.Now()
+	o.svcStart, o.svcEnd, o.svcOwner = now, now, -1
+	o.apply()
+	tr.stats.HardwareOps++
+	tr.stats.BytesIn += int64(o.bytes())
+	if v := o.win.w.validator; v != nil {
+		reg, disp := o.targetRegion()
+		v.recordApply(o, reg, disp, -1)
+	}
+	if t := o.win.w.tracer; t.Enabled() {
+		t.RecordService(trace.Service{
+			Rank: -1, Origin: o.win.comm.ranks[o.origin], Kind: o.kind.String(),
+			Bytes: o.bytes(), Arrived: now, Start: now, End: now, Hardware: true,
+		})
+	}
+	o.win.inflight.Done()
+	o.ack()
+}
+
+// ack returns the completion (and result payload) to the origin.
+func (o *rmaOp) ack() {
+	g := o.win
+	originWorld := g.comm.ranks[o.origin]
+	targetWorld := g.comm.ranks[o.target]
+	p := g.w.place
+	wire := g.w.net.Transfer(p.SameNode(targetWorld, originWorld),
+		p.SameNUMA(targetWorld, originWorld), o.ackBytes())
+	pending := o.pending
+	g.w.eng.After(wire, func() {
+		if o.dst != nil && o.result != nil {
+			copy(o.dst, o.result)
+		}
+		pending.Done()
+		if o.req != nil {
+			o.req.pending.Done()
+		}
+	})
+}

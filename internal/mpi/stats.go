@@ -1,0 +1,57 @@
+package mpi
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// WorldSummary aggregates per-rank counters over a finished (or
+// running) world — the quick profile harnesses print after an
+// experiment.
+type WorldSummary struct {
+	Ranks        int
+	SoftwareAMs  int64
+	HardwareOps  int64
+	Interrupts   int64
+	MessagesSent int64
+	OpsIssued    int64
+	BytesIn      int64
+	StolenTime   sim.Duration
+	EndTime      sim.Time
+}
+
+// Summary aggregates the counters of every rank.
+func (w *World) Summary() WorldSummary {
+	s := WorldSummary{Ranks: len(w.ranks), EndTime: w.eng.Now()}
+	for _, r := range w.ranks {
+		st := r.stats
+		s.SoftwareAMs += st.SoftwareAMs
+		s.HardwareOps += st.HardwareOps
+		s.Interrupts += st.Interrupts
+		s.MessagesSent += st.MessagesSent
+		s.OpsIssued += st.OpsIssued
+		s.BytesIn += st.BytesIn
+		s.StolenTime += st.StolenTime
+	}
+	return s
+}
+
+// String implements fmt.Stringer.
+func (s WorldSummary) String() string {
+	return fmt.Sprintf(
+		"ranks=%d end=%v rma_issued=%d software_ams=%d hardware_ops=%d interrupts=%d stolen=%v p2p_msgs=%d bytes_in=%d",
+		s.Ranks, s.EndTime, s.OpsIssued, s.SoftwareAMs, s.HardwareOps,
+		s.Interrupts, s.StolenTime, s.MessagesSent, s.BytesIn)
+}
+
+// BusiestRank returns the world rank that serviced the most software
+// AMs and its count — useful for spotting ghost load imbalance.
+func (w *World) BusiestRank() (rank int, ams int64) {
+	for i, r := range w.ranks {
+		if r.stats.SoftwareAMs > ams {
+			rank, ams = i, r.stats.SoftwareAMs
+		}
+	}
+	return rank, ams
+}

@@ -1,0 +1,225 @@
+package mpi
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// fakeWin builds a minimal winGlobal over one 64-byte segment with 3
+// comm ranks for direct validator tests.
+func fakeWin(v *Validator) (*winGlobal, Region) {
+	seg := &segment{id: 1, data: make([]byte, 64)}
+	reg := Region{seg: seg, off: 0, n: 64}
+	g := &winGlobal{
+		comm:    &commGlobal{ranks: []int{0, 1, 2}},
+		regions: []Region{reg, reg, reg},
+		w:       &World{validator: v},
+	}
+	return g, reg
+}
+
+func rec(g *winGlobal, v *Validator, reg Region, kind OpKind, origin, owner int,
+	disp int, start, end int64, seq int64, excl bool) {
+	op := &rmaOp{
+		win: g, kind: kind, origin: origin, target: 1, disp: disp,
+		dt: Scalar(Float64), seq: seq, excl: excl,
+		svcStart: sim.Time(start * 1000), svcEnd: sim.Time(end * 1000), svcOwner: owner,
+	}
+	v.recordApply(op, reg, disp, owner)
+}
+
+func TestValidatorCleanSequence(t *testing.T) {
+	v := newValidator()
+	g, reg := fakeWin(v)
+	// Same server, sequential intervals: fine.
+	rec(g, v, reg, KindAcc, 0, 5, 0, 0, 10, 1, false)
+	rec(g, v, reg, KindAcc, 0, 5, 0, 10, 20, 2, false)
+	rec(g, v, reg, KindAcc, 2, 5, 0, 20, 30, 1, false)
+	if !v.Ok() {
+		t.Fatalf("violations: %v", v.Violations())
+	}
+}
+
+func TestValidatorAtomicityViolation(t *testing.T) {
+	v := newValidator()
+	g, reg := fakeWin(v)
+	// Two accumulates on the same element, overlapping service windows,
+	// different servers: the multi-ghost atomicity hazard.
+	rec(g, v, reg, KindAcc, 0, 5, 0, 0, 10, 1, false)
+	rec(g, v, reg, KindAcc, 2, 6, 0, 5, 15, 1, false)
+	if v.Ok() {
+		t.Fatal("atomicity violation not detected")
+	}
+	if !strings.Contains(v.Violations()[0], "atomicity") {
+		t.Fatalf("wrong violation: %v", v.Violations())
+	}
+}
+
+func TestValidatorNoAtomicityIssueOnDisjointBytes(t *testing.T) {
+	v := newValidator()
+	g, reg := fakeWin(v)
+	rec(g, v, reg, KindAcc, 0, 5, 0, 0, 10, 1, false)
+	rec(g, v, reg, KindAcc, 2, 6, 8, 5, 15, 1, false) // different element
+	if !v.Ok() {
+		t.Fatalf("false positive: %v", v.Violations())
+	}
+}
+
+func TestValidatorOrderingViolation(t *testing.T) {
+	v := newValidator()
+	g, reg := fakeWin(v)
+	// Same origin, same location, seq 2 applied before seq 1.
+	rec(g, v, reg, KindAcc, 0, 5, 0, 0, 10, 2, false)
+	rec(g, v, reg, KindAcc, 0, 6, 0, 20, 30, 1, false)
+	if v.Ok() {
+		t.Fatal("ordering violation not detected")
+	}
+	found := false
+	for _, s := range v.Violations() {
+		if strings.Contains(s, "ordering") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no ordering violation in %v", v.Violations())
+	}
+}
+
+func TestValidatorExclusivityViolation(t *testing.T) {
+	v := newValidator()
+	g, reg := fakeWin(v)
+	// Concurrent puts from different origins, one under an exclusive
+	// lock: the Section III-B corruption scenario.
+	rec(g, v, reg, KindPut, 0, 5, 0, 0, 10, 1, true)
+	rec(g, v, reg, KindPut, 2, 6, 0, 5, 15, 1, false)
+	if v.Ok() {
+		t.Fatal("exclusivity violation not detected")
+	}
+	if !strings.Contains(strings.Join(v.Violations(), ";"), "exclusivity") {
+		t.Fatalf("wrong violations: %v", v.Violations())
+	}
+}
+
+func TestValidatorPutsWithoutExclusiveLockAreLegal(t *testing.T) {
+	v := newValidator()
+	g, reg := fakeWin(v)
+	// Concurrent unordered puts are undefined-value but not a
+	// violation of MPI's guarantees.
+	rec(g, v, reg, KindPut, 0, 5, 0, 0, 10, 1, false)
+	rec(g, v, reg, KindPut, 2, 6, 0, 5, 15, 1, false)
+	if !v.Ok() {
+		t.Fatalf("false positive: %v", v.Violations())
+	}
+}
+
+func TestValidatorGetsNeverConflict(t *testing.T) {
+	v := newValidator()
+	g, reg := fakeWin(v)
+	rec(g, v, reg, KindGet, 0, 5, 0, 0, 10, 1, true)
+	rec(g, v, reg, KindGet, 2, 6, 0, 5, 15, 1, true)
+	if !v.Ok() {
+		t.Fatalf("false positive on concurrent gets: %v", v.Violations())
+	}
+}
+
+func TestValidatorRingBounded(t *testing.T) {
+	v := newValidator()
+	v.ringSize = 8
+	g, reg := fakeWin(v)
+	for i := int64(0); i < 100; i++ {
+		rec(g, v, reg, KindAcc, 0, 5, 0, i*10, i*10+10, i+1, false)
+	}
+	if len(v.recent[1]) > 8 {
+		t.Fatalf("ring grew to %d", len(v.recent[1]))
+	}
+	if !v.Ok() {
+		t.Fatalf("violations: %v", v.Violations())
+	}
+}
+
+func TestLockManagerExclusiveExcludes(t *testing.T) {
+	m := &lockManager{}
+	var granted []int
+	g := func(id int) func() { return func() { granted = append(granted, id) } }
+	m.request(&lockReq{origin: 0, excl: true, grant: g(0)})
+	m.request(&lockReq{origin: 1, excl: true, grant: g(1)})
+	m.request(&lockReq{origin: 2, excl: false, grant: g(2)})
+	if len(granted) != 1 || granted[0] != 0 {
+		t.Fatalf("granted = %v", granted)
+	}
+	m.release(0, true)
+	if len(granted) != 2 || granted[1] != 1 {
+		t.Fatalf("granted = %v (FIFO violated)", granted)
+	}
+	m.release(1, true)
+	if len(granted) != 3 || granted[2] != 2 {
+		t.Fatalf("granted = %v", granted)
+	}
+	m.release(2, false)
+	if s, e := m.held(); s != 0 || e {
+		t.Fatalf("held = %d, %v after all releases", s, e)
+	}
+}
+
+func TestLockManagerSharedCoexist(t *testing.T) {
+	m := &lockManager{}
+	n := 0
+	for i := 0; i < 3; i++ {
+		m.request(&lockReq{origin: i, excl: false, grant: func() { n++ }})
+	}
+	if n != 3 {
+		t.Fatalf("granted %d shared locks, want 3", n)
+	}
+	if s, _ := m.held(); s != 3 {
+		t.Fatalf("shared = %d", s)
+	}
+}
+
+func TestLockManagerSharedWaitsBehindQueuedExclusive(t *testing.T) {
+	m := &lockManager{}
+	var granted []int
+	g := func(id int) func() { return func() { granted = append(granted, id) } }
+	m.request(&lockReq{origin: 0, excl: false, grant: g(0)}) // granted
+	m.request(&lockReq{origin: 1, excl: true, grant: g(1)})  // queued
+	m.request(&lockReq{origin: 2, excl: false, grant: g(2)}) // must queue behind excl (fairness)
+	if len(granted) != 1 {
+		t.Fatalf("granted = %v", granted)
+	}
+	m.release(0, false)
+	if len(granted) != 2 || granted[1] != 1 {
+		t.Fatalf("granted = %v", granted)
+	}
+	m.release(1, true)
+	if len(granted) != 3 || granted[2] != 2 {
+		t.Fatalf("granted = %v", granted)
+	}
+}
+
+func TestLockManagerReleaseUnderflowPanics(t *testing.T) {
+	for _, excl := range []bool{true, false} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("no panic for excl=%v underflow", excl)
+				}
+			}()
+			(&lockManager{}).release(0, excl)
+		}()
+	}
+}
+
+func TestLockManagerBatchReleaseAdmitsRunOfShared(t *testing.T) {
+	m := &lockManager{}
+	var granted []int
+	g := func(id int) func() { return func() { granted = append(granted, id) } }
+	m.request(&lockReq{origin: 0, excl: true, grant: g(0)})
+	for i := 1; i <= 3; i++ {
+		m.request(&lockReq{origin: i, excl: false, grant: g(i)})
+	}
+	m.release(0, true)
+	if len(granted) != 4 {
+		t.Fatalf("granted = %v; run of shared requests should all admit", granted)
+	}
+}

@@ -1,0 +1,232 @@
+package mpi
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// winGlobal is the collective state of one RMA window.
+type winGlobal struct {
+	id      int
+	w       *World
+	comm    *commGlobal
+	regions []Region // per comm rank: the exposed memory
+	info    Info
+	freed   bool
+
+	lockMgrs []*lockManager // per comm rank, lazily created
+
+	// inflight counts operations issued on this window that have not
+	// yet been applied at their target; fence closing gates on it
+	// draining (the target-side completion guarantee of MPI_WIN_FENCE).
+	inflight sim.CompletionSet
+
+	// PSCW bookkeeping (allocated lazily; indexes are comm ranks).
+	pscw *pscwGlobal
+
+	// Dynamic-window state (MPI_WIN_CREATE_DYNAMIC).
+	dynamic  bool
+	attached [][]attachment // per comm rank: attached regions by base
+	nextBase []int          // per comm rank: next base address
+}
+
+type pscwGlobal struct {
+	postSeen []map[int]bool  // [origin][target] -> post notification received
+	expected []map[int]int64 // [target][origin] -> op count announced by Complete
+	applied  []map[int]int64 // [target][origin] -> PSCW ops applied so far
+	sig      sim.Signal      // broadcast on any of the above changing
+}
+
+func (g *winGlobal) pscwState() *pscwGlobal {
+	if g.pscw == nil {
+		n := len(g.comm.ranks)
+		g.pscw = &pscwGlobal{
+			postSeen: make([]map[int]bool, n),
+			expected: make([]map[int]int64, n),
+			applied:  make([]map[int]int64, n),
+		}
+	}
+	return g.pscw
+}
+
+func (g *winGlobal) lockMgr(target int) *lockManager {
+	if g.lockMgrs[target] == nil {
+		g.lockMgrs[target] = &lockManager{}
+	}
+	return g.lockMgrs[target]
+}
+
+// rankOf returns the Rank object of a comm rank of the window.
+func (g *winGlobal) rankOf(commRank int) *Rank {
+	return g.w.ranks[g.comm.ranks[commRank]]
+}
+
+// Win is one rank's handle on an RMA window; it implements Window.
+type Win struct {
+	g  *winGlobal
+	c  *Comm // this rank's handle on the window communicator
+	r  *Rank
+	me int // comm rank
+
+	fenceActive bool
+	lockAll     bool
+	access      *pscwAccess   // open access epoch (Start..Complete)
+	exposure    *pscwExposure // open exposure epoch (Post..Wait)
+	targets     map[int]*targetState
+	opSeq       int64
+}
+
+type pscwAccess struct {
+	group  []int
+	assert Assert
+	issued map[int]int64 // per target: ops issued this epoch
+}
+
+type pscwExposure struct {
+	group  []int
+	assert Assert
+}
+
+// targetState is the origin-side per-target state of a passive epoch.
+type targetState struct {
+	lock      LockType
+	locked    bool // Lock() called (or implied by LockAll)
+	viaAll    bool
+	requested bool
+	granted   sim.Completion
+	queued    []*rmaOp
+	pending   sim.CompletionSet // issued ops not yet remotely acked
+
+	// lastArrival enforces FIFO delivery on the (origin, target)
+	// channel: a small message must not overtake a large one, or
+	// same-origin accumulate ordering (MPI-3 §11.7.1) would break.
+	lastArrival sim.Time
+}
+
+func (w *Win) target(t int) *targetState {
+	if t < 0 || t >= len(w.g.comm.ranks) {
+		panic(fmt.Sprintf("mpi: window target %d out of range [0,%d)", t, len(w.g.comm.ranks)))
+	}
+	ts, ok := w.targets[t]
+	if !ok {
+		ts = &targetState{}
+		w.targets[t] = ts
+	}
+	return ts
+}
+
+// Region returns this rank's exposed memory region (used by Casper when
+// building overlapping windows over the same memory).
+func (w *Win) Region() Region { return w.g.regions[w.me] }
+
+// RegionOf returns the exposed region of any comm rank. Within a node
+// this corresponds to shared-memory visibility; Casper uses it to build
+// its offset translation.
+func (w *Win) RegionOf(commRank int) Region { return w.g.regions[commRank] }
+
+// Comm returns this rank's handle on the window communicator.
+func (w *Win) Comm() *Comm { return w.c }
+
+// Info returns the info hints the window was created with.
+func (w *Win) Info() Info { return w.g.info }
+
+// newWin builds the per-rank handle.
+func newWin(g *winGlobal, r *Rank) *Win {
+	me, ok := g.comm.index[r.id]
+	if !ok {
+		panic("mpi: rank not in window comm")
+	}
+	return &Win{g: g, c: &Comm{g: g.comm, me: me, r: r}, r: r, me: me,
+		targets: map[int]*targetState{}}
+}
+
+// winCollective performs the collective creation rendezvous: each rank
+// contributes its region; the last arrival assembles the winGlobal.
+func (r *Rank) winCollective(c *Comm, reg Region, info Info, cost sim.Duration) *Win {
+	res := c.collective("MPI_Win_create", reg, cost, func(vals []interface{}) interface{} {
+		g := &winGlobal{
+			w:        c.g.w,
+			comm:     c.g,
+			regions:  make([]Region, len(vals)),
+			info:     info,
+			lockMgrs: make([]*lockManager, len(vals)),
+		}
+		c.g.w.winSeq++
+		g.id = c.g.w.winSeq
+		for i, v := range vals {
+			g.regions[i] = v.(Region)
+		}
+		return g
+	})
+	return newWin(res.(*winGlobal), r)
+}
+
+// WinAllocate implements Env: MPI_WIN_ALLOCATE. Each rank allocates size
+// bytes of remotely accessible memory.
+func (r *Rank) WinAllocate(c *Comm, size int, info Info) (Window, []byte) {
+	w, buf := r.WinAllocateRegion(c, size, info)
+	return w, buf
+}
+
+// WinAllocateRegion is WinAllocate returning the concrete *Win (for
+// layers that need the full handle, like Casper).
+func (r *Rank) WinAllocateRegion(c *Comm, size int, info Info) (*Win, []byte) {
+	if size < 0 {
+		panic(fmt.Sprintf("mpi: WinAllocate size %d", size))
+	}
+	seg := r.w.newSegment(size)
+	reg := Region{seg: seg, off: 0, n: size}
+	w := r.winCollective(c, reg, info, r.w.net.AllocWinCost(c.Size()))
+	return w, reg.Bytes()
+}
+
+// WinAllocateShared implements MPI_WIN_ALLOCATE_SHARED: the communicator
+// must be intra-node; the ranks' memories are consecutive regions of one
+// shared segment, so every rank (including Casper ghosts) can address
+// every other rank's portion directly.
+func (r *Rank) WinAllocateShared(c *Comm, size int, info Info) (*Win, []byte) {
+	if size < 0 {
+		panic(fmt.Sprintf("mpi: WinAllocateShared size %d", size))
+	}
+	// Verify the communicator is node-local.
+	p := r.w.place
+	for _, wr := range c.g.ranks {
+		if !p.SameNode(wr, c.g.ranks[0]) {
+			panic("mpi: WinAllocateShared on a communicator spanning nodes")
+		}
+	}
+	// Region offsets are aligned to the largest basic datatype so that
+	// Casper's segment binding never splits an element between ghosts
+	// (Section III-B-2 relies on data alignment).
+	sizes := c.AllgatherInt(size)
+	total := 0
+	offs := make([]int, len(sizes))
+	for i, s := range sizes {
+		offs[i] = total
+		total += (s + MaxBasicSize - 1) / MaxBasicSize * MaxBasicSize
+	}
+	// One rank's reduce closure allocates the shared segment; everyone
+	// shares it via the collective result.
+	res := c.collective("MPI_Win_allocate_shared", nil,
+		r.w.net.AllocWinCost(c.Size()),
+		func([]interface{}) interface{} { return r.w.newSegment(total) })
+	seg := res.(*segment)
+	reg := Region{seg: seg, off: offs[c.Rank()], n: size}
+	w := r.winCollective(c, reg, nil, r.w.net.CreateWinCost(c.Size()))
+	w.g.info = info
+	return w, reg.Bytes()
+}
+
+// WinCreate implements MPI_WIN_CREATE over existing memory: each rank
+// exposes the given region. Much cheaper than WinAllocate, which is why
+// Casper can afford its overlapping internal windows.
+func (r *Rank) WinCreate(c *Comm, reg Region, info Info) *Win {
+	return r.winCollective(c, reg, info, r.w.net.CreateWinCost(c.Size()))
+}
+
+// Free implements Window: MPI_WIN_FREE (collective).
+func (w *Win) Free() {
+	w.c.collective("MPI_Win_free", nil, w.c.barrierCost(), nil)
+	w.g.freed = true
+}

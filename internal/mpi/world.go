@@ -1,0 +1,321 @@
+package mpi
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/netmodel"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// ProgressMode selects the asynchronous progress baseline configured for
+// every rank of a world. Casper is not a mode: it is a library layered on
+// top of ProgressNone, which is the whole point of the paper.
+type ProgressMode int
+
+// Progress modes.
+const (
+	// ProgressNone: software RMA targeted at a rank makes progress
+	// only while that rank is inside an MPI call (default MPI
+	// behaviour the paper describes).
+	ProgressNone ProgressMode = iota
+	// ProgressThread: a background progress thread per rank services
+	// software RMA at any time, at the cost of thread-multiple
+	// overhead on all MPI calls (and stolen compute cycles when
+	// oversubscribed).
+	ProgressThread
+	// ProgressInterrupt: arriving software RMA raises a simulated
+	// hardware interrupt on the busy target (the Cray DMAPP model).
+	ProgressInterrupt
+)
+
+// String implements fmt.Stringer.
+func (m ProgressMode) String() string {
+	switch m {
+	case ProgressNone:
+		return "none"
+	case ProgressThread:
+		return "thread"
+	case ProgressInterrupt:
+		return "interrupt"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// Config describes a simulated MPI world.
+type Config struct {
+	Machine cluster.Machine
+	N       int // world size (MPI_COMM_WORLD size, including any future ghosts)
+	PPN     int // ranks per node
+	Net     *netmodel.Params
+	Seed    int64
+
+	Progress             ProgressMode
+	ThreadOversubscribed bool // ProgressThread: thread shares the rank's core (Thread(O)) rather than a dedicated one (Thread(D))
+
+	Validate bool // enable the correctness validator (atomicity/ordering/lock checks)
+}
+
+// World is one simulated MPI job: an engine, a placement, and N ranks.
+type World struct {
+	eng        *sim.Engine
+	place      *cluster.Placement
+	net        *netmodel.Params
+	cfg        Config
+	ranks      []*Rank
+	commWorld  *commGlobal
+	segSeq     int
+	winSeq     int
+	commSeq    int
+	validator  *Validator
+	tracer     *trace.Tracer
+	groupComms map[string][]*commGlobal // CommFromGroup instances by rank set
+}
+
+// NewWorld builds a world; ranks exist but are not running until Launch.
+func NewWorld(cfg Config) (*World, error) {
+	if cfg.Net == nil {
+		return nil, fmt.Errorf("mpi: Config.Net is nil")
+	}
+	if err := cfg.Net.Validate(); err != nil {
+		return nil, err
+	}
+	place, err := cluster.NewPlacement(cfg.Machine, cfg.N, cfg.PPN)
+	if err != nil {
+		return nil, err
+	}
+	w := &World{
+		eng:   sim.New(cfg.Seed),
+		place: place,
+		net:   cfg.Net,
+		cfg:   cfg,
+	}
+	if cfg.Validate {
+		w.validator = newValidator()
+	}
+	w.ranks = make([]*Rank, cfg.N)
+	for i := range w.ranks {
+		w.ranks[i] = newRank(w, i)
+	}
+	ranks := make([]int, cfg.N)
+	for i := range ranks {
+		ranks[i] = i
+	}
+	w.commWorld = w.newCommGlobal(ranks)
+	return w, nil
+}
+
+// Engine returns the simulation engine.
+func (w *World) Engine() *sim.Engine { return w.eng }
+
+// Placement returns the rank-to-hardware mapping.
+func (w *World) Placement() *cluster.Placement { return w.place }
+
+// Net returns the platform cost model.
+func (w *World) Net() *netmodel.Params { return w.net }
+
+// Config returns the world's configuration.
+func (w *World) Config() Config { return w.cfg }
+
+// Validator returns the correctness validator, or nil when disabled.
+func (w *World) Validator() *Validator { return w.validator }
+
+// SetTracer installs an operation tracer; pass nil to disable. Install
+// before Launch.
+func (w *World) SetTracer(t *trace.Tracer) { w.tracer = t }
+
+// Tracer returns the installed tracer (possibly nil).
+func (w *World) Tracer() *trace.Tracer { return w.tracer }
+
+// RankByID returns the Rank object for a world rank (for inspection by
+// tests and harnesses; application code receives its Rank from Launch).
+func (w *World) RankByID(i int) *Rank { return w.ranks[i] }
+
+// Launch spawns every rank running main and schedules them at time 0.
+func (w *World) Launch(main func(r *Rank)) {
+	for _, r := range w.ranks {
+		r := r
+		w.eng.Spawn(fmt.Sprintf("rank%d", r.id), func(p *sim.Proc) {
+			r.proc = p
+			main(r)
+		})
+	}
+}
+
+// Run executes the simulation to completion.
+func (w *World) Run() error { return w.eng.Run() }
+
+// Run is the convenience harness: build a world, run main on every rank,
+// and return the world for inspection.
+func Run(cfg Config, main func(r *Rank)) (*World, error) {
+	w, err := NewWorld(cfg)
+	if err != nil {
+		return nil, err
+	}
+	w.Launch(main)
+	if err := w.Run(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// segment is a block of simulated remotely accessible memory. Windows
+// expose regions of segments; Casper's overlapping windows alias the
+// same segment, and the validator keys conflict detection on (segment,
+// offset) so aliased windows are checked coherently.
+type segment struct {
+	id   int
+	data []byte
+}
+
+func (w *World) newSegment(n int) *segment {
+	w.segSeq++
+	return &segment{id: w.segSeq, data: make([]byte, n)}
+}
+
+// Region is a window's view of one rank's exposed memory.
+type Region struct {
+	seg *segment
+	off int
+	n   int
+}
+
+// Bytes returns the backing memory of the region.
+func (r Region) Bytes() []byte { return r.seg.data[r.off : r.off+r.n] }
+
+// Len returns the region size in bytes.
+func (r Region) Len() int { return r.n }
+
+// Sub returns a sub-region [off, off+n) of r.
+func (r Region) Sub(off, n int) Region {
+	if off < 0 || n < 0 || off+n > r.n {
+		panic(fmt.Sprintf("mpi: sub-region [%d,%d) outside region of %d bytes", off, off+n, r.n))
+	}
+	return Region{seg: r.seg, off: r.off + off, n: n}
+}
+
+// Offset returns the region's byte offset within its backing segment.
+// Casper uses it to translate a user-rank displacement into a
+// ghost-window displacement ("X + P1's offset in the ghost process
+// address space", Section II-C).
+func (r Region) Offset() int { return r.off }
+
+// Root returns the region covering the entire backing segment — the
+// whole node's shared window memory mapped into a ghost's address space.
+func (r Region) Root() Region {
+	return Region{seg: r.seg, off: 0, n: len(r.seg.data)}
+}
+
+// SameSegment reports whether two regions alias the same backing
+// segment.
+func (r Region) SameSegment(o Region) bool { return r.seg == o.seg }
+
+// Rank is one simulated MPI process. It implements Env.
+type Rank struct {
+	w    *World
+	id   int
+	proc *sim.Proc
+
+	engine  rankEngine
+	mailbox mailbox
+
+	groupUses map[string]int   // per-rank CommFromGroup call counts
+	p2pLast   map[int]sim.Time // per-destination FIFO delivery horizon
+
+	stats RankStats
+}
+
+// RankStats counts per-rank activity, used by the experiment harnesses
+// (e.g. Fig. 4(c) plots the interrupt count).
+type RankStats struct {
+	SoftwareAMs  int64        // software RMA ops processed at this rank
+	HardwareOps  int64        // hardware RMA ops applied at this rank
+	Interrupts   int64        // interrupts raised (ProgressInterrupt)
+	StolenTime   sim.Duration // compute cycles stolen by interrupts/oversubscribed threads
+	BytesIn      int64        // RMA payload bytes received
+	OpsIssued    int64        // RMA ops issued from this rank
+	MessagesSent int64        // point-to-point messages sent
+}
+
+func newRank(w *World, id int) *Rank {
+	r := &Rank{w: w, id: id}
+	r.engine.init(r)
+	return r
+}
+
+// World returns the world this rank belongs to.
+func (r *Rank) World() *World { return r.w }
+
+// Rank implements Env.
+func (r *Rank) Rank() int { return r.id }
+
+// Size implements Env.
+func (r *Rank) Size() int { return r.w.cfg.N }
+
+// CommWorld implements Env: the MPI_COMM_WORLD handle of this rank.
+func (r *Rank) CommWorld() *Comm { return &Comm{g: r.w.commWorld, me: r.id, r: r} }
+
+// Now implements Env.
+func (r *Rank) Now() sim.Time { return r.w.eng.Now() }
+
+// Proc returns the simulation process of this rank; harnesses use it for
+// low-level waiting.
+func (r *Rank) Proc() *sim.Proc { return r.proc }
+
+// Stats returns a copy of this rank's counters.
+func (r *Rank) Stats() RankStats { return r.stats }
+
+// Compute implements Env: application computation of duration d. An
+// oversubscribed progress thread (Thread(O)) polls on the same core, so
+// compute is slowed by a constant factor; interrupts and the thread's AM
+// service steal further cycles. These are the effects that make
+// thread-based progress degrade application compute in the paper's
+// NWChem results (Section IV-D).
+func (r *Rank) Compute(d sim.Duration) {
+	if r.w.cfg.Progress == ProgressThread && r.w.cfg.ThreadOversubscribed &&
+		r.w.net.OversubCompute > 1 {
+		d = sim.Duration(float64(d) * r.w.net.OversubCompute)
+	}
+	mark := r.engine.stolen
+	r.proc.Advance(d)
+	for r.engine.stolen > mark {
+		extra := r.engine.stolen - mark
+		mark = r.engine.stolen
+		r.proc.Advance(extra)
+	}
+}
+
+// mpiEnter marks the rank inside an MPI call, paying the call overhead
+// and draining deferred software AMs (polling progress).
+func (r *Rank) mpiEnter() {
+	r.engine.enterMPI()
+	r.proc.Advance(r.callCost())
+}
+
+func (r *Rank) mpiLeave() { r.engine.leaveMPI() }
+
+// callCost is the cost of entering an MPI call, inflated by
+// thread-multiple safety when a progress thread is configured.
+func (r *Rank) callCost() sim.Duration {
+	return r.scaleBySafety(r.w.net.CallOverhead)
+}
+
+// issueCost is the origin-side cost of issuing one RMA operation.
+func (r *Rank) issueCost() sim.Duration {
+	return r.scaleBySafety(r.w.net.RMAIssue)
+}
+
+func (r *Rank) scaleBySafety(d sim.Duration) sim.Duration {
+	if r.w.cfg.Progress == ProgressThread {
+		return sim.Duration(float64(d) * r.w.net.ThreadSafety)
+	}
+	return d
+}
+
+// transferTo returns the wire time for n bytes from r to world rank dest.
+func (r *Rank) transferTo(dest, n int) sim.Duration {
+	p := r.w.place
+	return r.w.net.Transfer(p.SameNode(r.id, dest), p.SameNUMA(r.id, dest), n)
+}

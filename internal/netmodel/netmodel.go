@@ -1,0 +1,199 @@
+// Package netmodel defines the performance model of the simulated
+// platforms: transfer latency/bandwidth, MPI software overheads,
+// window-management costs, RMA hardware capability, and the parameters of
+// the thread- and interrupt-based asynchronous progress baselines.
+//
+// Three presets mirror the platforms of the paper's evaluation
+// (Section IV): the Cray XC30 in regular mode (all RMA in software), the
+// XC30 in DMAPP mode (hardware contiguous put/get, interrupt-driven
+// software accumulates), and the Fusion InfiniBand cluster running
+// MVAPICH (hardware contiguous put/get, thread-progressed accumulates).
+// Absolute constants are calibrated to the order of magnitude of the
+// paper's plots; the experiments depend on their relative structure, not
+// their exact values.
+package netmodel
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Params is the full cost model for one platform.
+type Params struct {
+	Name string
+
+	// Transport.
+	InterLatency sim.Duration // one-way latency between nodes
+	IntraLatency sim.Duration // one-way latency within a node (shared memory)
+	InterPerByte float64      // ns per byte between nodes
+	IntraPerByte float64      // ns per byte within a node
+	NUMAPenalty  sim.Duration // extra intra-node latency across NUMA domains
+
+	// MPI software costs.
+	CallOverhead sim.Duration // entering any MPI call
+	RMAIssue     sim.Duration // origin-side cost to issue one RMA operation
+	AMBase       sim.Duration // target-side base cost to process one software AM
+	AMPerByte    float64      // ns per byte of target-side AM processing
+	PackPerByte  float64      // extra ns per byte for noncontiguous pack/unpack
+
+	// Window management.
+	AllocWinBase     sim.Duration // MPI_WIN_ALLOCATE: fixed cost (registration, setup)
+	AllocWinPerRank  sim.Duration // MPI_WIN_ALLOCATE: per communicator rank
+	CreateWinBase    sim.Duration // MPI_WIN_CREATE over existing memory: fixed
+	CreateWinPerRank sim.Duration // MPI_WIN_CREATE: per communicator rank
+
+	// RMA hardware capability.
+	HardwarePutGet bool    // contiguous PUT/GET executed by the NIC, no target CPU
+	NICPerByte     float64 // ns per byte for the hardware path
+
+	// Progress baselines.
+	ThreadSafety   float64      // multiplier on origin MPI overheads with a progress thread (thread-multiple locking)
+	ThreadAM       float64      // multiplier on AM processing done by a progress thread (shared-state locking)
+	OversubCompute float64      // compute slowdown when a polling progress thread shares the core (Thread(O))
+	InterruptCost  sim.Duration // kernel interrupt overhead per software AM in interrupt mode
+
+	// Lock behaviour.
+	LockLazy bool // delay lock acquisition until the first operation/flush (Cray, MVAPICH behaviour)
+}
+
+// Validate checks model invariants.
+func (p *Params) Validate() error {
+	if p.InterLatency < 0 || p.IntraLatency < 0 || p.NUMAPenalty < 0 {
+		return fmt.Errorf("netmodel %s: negative latency", p.Name)
+	}
+	if p.InterPerByte < 0 || p.IntraPerByte < 0 || p.NICPerByte < 0 ||
+		p.AMPerByte < 0 || p.PackPerByte < 0 {
+		return fmt.Errorf("netmodel %s: negative per-byte cost", p.Name)
+	}
+	if p.ThreadSafety < 1 || p.ThreadAM < 1 {
+		return fmt.Errorf("netmodel %s: thread multipliers must be >= 1", p.Name)
+	}
+	if p.OversubCompute != 0 && p.OversubCompute < 1 {
+		return fmt.Errorf("netmodel %s: OversubCompute must be >= 1", p.Name)
+	}
+	return nil
+}
+
+// Transfer returns the wire time for n bytes between two ranks with the
+// given locality.
+func (p *Params) Transfer(sameNode, sameNUMA bool, n int) sim.Duration {
+	if sameNode {
+		d := p.IntraLatency + sim.Duration(float64(n)*p.IntraPerByte)
+		if !sameNUMA {
+			d += p.NUMAPenalty
+		}
+		return d
+	}
+	return p.InterLatency + sim.Duration(float64(n)*p.InterPerByte)
+}
+
+// AMCost returns the target-side CPU time to process one software RMA
+// active message carrying n payload bytes. Noncontiguous data pays the
+// unpack surcharge.
+func (p *Params) AMCost(n int, contiguous bool) sim.Duration {
+	d := p.AMBase + sim.Duration(float64(n)*p.AMPerByte)
+	if !contiguous {
+		d += sim.Duration(float64(n) * p.PackPerByte)
+	}
+	return d
+}
+
+// AllocWinCost returns the cost of MPI_WIN_ALLOCATE (or
+// ALLOCATE_SHARED) collective over nRanks ranks.
+func (p *Params) AllocWinCost(nRanks int) sim.Duration {
+	return p.AllocWinBase + sim.Duration(nRanks)*p.AllocWinPerRank
+}
+
+// CreateWinCost returns the cost of MPI_WIN_CREATE over existing memory,
+// collective over nRanks ranks.
+func (p *Params) CreateWinCost(nRanks int) sim.Duration {
+	return p.CreateWinBase + sim.Duration(nRanks)*p.CreateWinPerRank
+}
+
+// HardwareEligible reports whether an RMA transfer of n contiguous bytes
+// can complete entirely in NIC hardware on this platform.
+func (p *Params) HardwareEligible(contiguous bool) bool {
+	return p.HardwarePutGet && contiguous
+}
+
+// CrayXC30 models the NERSC Edison Cray XC30 with Cray MPI in regular
+// mode: every RMA operation is executed in target-side software
+// (Section IV: "The regular version executes all RMA operations in
+// software").
+func CrayXC30() *Params {
+	return &Params{
+		Name:             "cray-xc30",
+		InterLatency:     sim.Microseconds(1.4),
+		IntraLatency:     sim.Microseconds(0.45),
+		InterPerByte:     0.125, // ~8 GB/s
+		IntraPerByte:     0.08,  // ~12.5 GB/s
+		NUMAPenalty:      sim.Microseconds(0.05),
+		CallOverhead:     sim.Microseconds(0.15),
+		RMAIssue:         sim.Microseconds(0.25),
+		AMBase:           sim.Microseconds(0.55),
+		AMPerByte:        0.12,
+		PackPerByte:      0.30,
+		AllocWinBase:     sim.Microseconds(12),
+		AllocWinPerRank:  sim.Microseconds(7),
+		CreateWinBase:    sim.Microseconds(3),
+		CreateWinPerRank: sim.Microseconds(0.8),
+		HardwarePutGet:   false,
+		NICPerByte:       0.125,
+		ThreadSafety:     1.9,
+		ThreadAM:         1.6,
+		OversubCompute:   1.7,
+		InterruptCost:    sim.Microseconds(2.6),
+		LockLazy:         true,
+	}
+}
+
+// CrayXC30DMAPP models the XC30 with DMAPP enabled: contiguous PUT/GET
+// run in hardware; accumulates and noncontiguous operations remain
+// software, progressed by interrupts.
+func CrayXC30DMAPP() *Params {
+	p := CrayXC30()
+	p.Name = "cray-xc30-dmapp"
+	p.HardwarePutGet = true
+	return p
+}
+
+// FusionMVAPICH models the Argonne Fusion InfiniBand cluster with
+// MVAPICH 2.0rc1 (with the paper's bug fix enabling true hardware
+// PUT/GET): contiguous PUT/GET in hardware, accumulates as software
+// active messages with thread-based asynchronous progress available.
+func FusionMVAPICH() *Params {
+	return &Params{
+		Name:             "fusion-mvapich",
+		InterLatency:     sim.Microseconds(2.1),
+		IntraLatency:     sim.Microseconds(0.5),
+		InterPerByte:     0.31, // ~3.2 GB/s QDR IB
+		IntraPerByte:     0.1,
+		NUMAPenalty:      sim.Microseconds(0.05),
+		CallOverhead:     sim.Microseconds(0.18),
+		RMAIssue:         sim.Microseconds(0.3),
+		AMBase:           sim.Microseconds(0.8),
+		AMPerByte:        0.15,
+		PackPerByte:      0.35,
+		AllocWinBase:     sim.Microseconds(15),
+		AllocWinPerRank:  sim.Microseconds(8),
+		CreateWinBase:    sim.Microseconds(4),
+		CreateWinPerRank: sim.Microseconds(1.0),
+		HardwarePutGet:   true,
+		NICPerByte:       0.31,
+		ThreadSafety:     2.2,
+		ThreadAM:         1.7,
+		OversubCompute:   1.7,
+		InterruptCost:    sim.Microseconds(3.0),
+		LockLazy:         true,
+	}
+}
+
+// Presets returns all built-in platform models keyed by name.
+func Presets() map[string]*Params {
+	ps := map[string]*Params{}
+	for _, p := range []*Params{CrayXC30(), CrayXC30DMAPP(), FusionMVAPICH()} {
+		ps[p.Name] = p
+	}
+	return ps
+}

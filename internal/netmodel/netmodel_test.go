@@ -1,0 +1,144 @@
+package netmodel
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestPresetsValidate(t *testing.T) {
+	for name, p := range Presets() {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if p.Name != name {
+			t.Errorf("preset key %q != Name %q", name, p.Name)
+		}
+	}
+}
+
+func TestValidateCatchesBadModels(t *testing.T) {
+	bad := []*Params{
+		{Name: "neg-lat", InterLatency: -1, ThreadSafety: 1, ThreadAM: 1},
+		{Name: "neg-byte", InterPerByte: -0.1, ThreadSafety: 1, ThreadAM: 1},
+		{Name: "thread-lt-1", ThreadSafety: 0.5, ThreadAM: 1},
+		{Name: "am-lt-1", ThreadSafety: 1, ThreadAM: 0.2},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: no error", p.Name)
+		}
+	}
+}
+
+func TestTransferLocalityOrdering(t *testing.T) {
+	p := CrayXC30()
+	n := 4096
+	sameNUMA := p.Transfer(true, true, n)
+	crossNUMA := p.Transfer(true, false, n)
+	interNode := p.Transfer(false, false, n)
+	if !(sameNUMA < crossNUMA && crossNUMA < interNode) {
+		t.Fatalf("locality ordering violated: %v %v %v", sameNUMA, crossNUMA, interNode)
+	}
+}
+
+func TestTransferScalesWithSize(t *testing.T) {
+	p := CrayXC30()
+	small := p.Transfer(false, false, 8)
+	big := p.Transfer(false, false, 1<<20)
+	if big <= small {
+		t.Fatalf("transfer not size-sensitive: %v vs %v", small, big)
+	}
+	// Zero bytes still pays latency.
+	if p.Transfer(false, false, 0) != p.InterLatency {
+		t.Fatal("zero-byte transfer should cost exactly the latency")
+	}
+}
+
+func TestAMCostNoncontiguousSurcharge(t *testing.T) {
+	p := CrayXC30()
+	c := p.AMCost(1024, true)
+	nc := p.AMCost(1024, false)
+	if nc <= c {
+		t.Fatalf("noncontiguous AM not more expensive: %v vs %v", nc, c)
+	}
+	want := c + sim.Duration(1024*p.PackPerByte)
+	if nc != want {
+		t.Fatalf("surcharge = %v, want %v", nc, want)
+	}
+}
+
+func TestWindowCostsScaleWithRanks(t *testing.T) {
+	p := CrayXC30()
+	if p.AllocWinCost(22) <= p.AllocWinCost(2) {
+		t.Error("alloc cost not rank-sensitive")
+	}
+	if p.CreateWinCost(22) <= p.CreateWinCost(2) {
+		t.Error("create cost not rank-sensitive")
+	}
+	// Re-exposing existing memory must be much cheaper than allocating:
+	// Casper's overlapping windows rely on this (Section III-A).
+	if p.CreateWinCost(22) >= p.AllocWinCost(22) {
+		t.Error("WIN_CREATE should be cheaper than WIN_ALLOCATE")
+	}
+}
+
+func TestHardwareEligibility(t *testing.T) {
+	soft := CrayXC30()
+	hw := CrayXC30DMAPP()
+	if soft.HardwareEligible(true) {
+		t.Error("regular XC30 must have no hardware RMA")
+	}
+	if !hw.HardwareEligible(true) {
+		t.Error("DMAPP contiguous put/get must be hardware")
+	}
+	if hw.HardwareEligible(false) {
+		t.Error("noncontiguous must never be hardware")
+	}
+	if !FusionMVAPICH().HardwareEligible(true) {
+		t.Error("MVAPICH contiguous put/get must be hardware")
+	}
+}
+
+func TestPlatformRelativeCosts(t *testing.T) {
+	cray, fusion := CrayXC30(), FusionMVAPICH()
+	// InfiniBand QDR has higher latency and lower bandwidth than Aries.
+	if fusion.InterLatency <= cray.InterLatency {
+		t.Error("Fusion latency should exceed XC30")
+	}
+	if fusion.InterPerByte <= cray.InterPerByte {
+		t.Error("Fusion per-byte cost should exceed XC30")
+	}
+}
+
+// Property: transfer time is monotone in message size for all localities.
+func TestTransferMonotoneProperty(t *testing.T) {
+	p := FusionMVAPICH()
+	f := func(a, b uint32, sameNode, sameNUMA bool) bool {
+		x, y := int(a%1<<22), int(b%1<<22)
+		if x > y {
+			x, y = y, x
+		}
+		return p.Transfer(sameNode, sameNUMA, x) <= p.Transfer(sameNode, sameNUMA, y)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: AM cost is monotone in size and the noncontiguous path never
+// undercuts the contiguous one.
+func TestAMCostMonotoneProperty(t *testing.T) {
+	p := CrayXC30()
+	f := func(a uint32, contig bool) bool {
+		n := int(a % 1 << 22)
+		if p.AMCost(n, false) < p.AMCost(n, true) {
+			return false
+		}
+		return p.AMCost(n, contig) >= p.AMCost(0, contig)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,141 @@
+// Package osu implements OSU-microbenchmark-style one-sided latency,
+// bandwidth, and message-rate tests over the simulated MPI runtime —
+// the standard kit for characterizing an RMA stack (and for checking
+// that Casper's redirection does not distort the basic data paths).
+package osu
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/mpi"
+	"repro/internal/sim"
+)
+
+// Result is one row of a benchmark: a message size and its measurement.
+type Result struct {
+	Bytes   int
+	Latency sim.Duration // per-operation (latency tests)
+	MBps    float64      // bandwidth tests
+	MsgRate float64      // messages per simulated second (bandwidth tests)
+}
+
+// Sizes returns the default power-of-two sweep [lo, hi].
+func Sizes(lo, hi int) []int {
+	var out []int
+	for v := lo; v <= hi; v *= 2 {
+		out = append(out, v)
+	}
+	return out
+}
+
+// Latency measures blocking op latency (osu_put_latency /
+// osu_get_latency / osu_acc_latency): rank 0 issues one operation of
+// each size to rank 1 under a lock epoch and flushes, iters times;
+// reported is the mean per-operation time. Collective over exactly two
+// user ranks.
+func Latency(env mpi.Env, kind mpi.OpKind, sizes []int, iters int) []Result {
+	c := env.CommWorld()
+	if c.Size() != 2 {
+		panic(fmt.Sprintf("osu: latency needs 2 ranks, got %d", c.Size()))
+	}
+	maxSize := sizes[len(sizes)-1]
+	win, _ := env.WinAllocate(c, maxSize, nil)
+	defer win.Free()
+	var out []Result
+	for _, size := range sizes {
+		c.Barrier()
+		if env.Rank() == 0 {
+			buf := make([]byte, size)
+			dt := mpi.TypeOf(mpi.Byte, size)
+			win.Lock(1, mpi.LockShared, mpi.AssertNone)
+			// Warm the lock acquisition out of the measurement.
+			issueOp(win, kind, buf, dt)
+			win.Flush(1)
+			start := env.Now()
+			for i := 0; i < iters; i++ {
+				issueOp(win, kind, buf, dt)
+				win.Flush(1)
+			}
+			el := env.Now().Sub(start)
+			win.Unlock(1)
+			out = append(out, Result{Bytes: size, Latency: el / sim.Duration(iters)})
+		}
+		c.Barrier()
+	}
+	return out
+}
+
+// Bandwidth measures streaming throughput (osu_put_bw): rank 0 issues
+// window bursts of back-to-back operations then one flush, iters times.
+func Bandwidth(env mpi.Env, kind mpi.OpKind, sizes []int, window, iters int) []Result {
+	c := env.CommWorld()
+	if c.Size() != 2 {
+		panic(fmt.Sprintf("osu: bandwidth needs 2 ranks, got %d", c.Size()))
+	}
+	maxSize := sizes[len(sizes)-1]
+	win, _ := env.WinAllocate(c, maxSize, nil)
+	defer win.Free()
+	var out []Result
+	for _, size := range sizes {
+		c.Barrier()
+		if env.Rank() == 0 {
+			buf := make([]byte, size)
+			dt := mpi.TypeOf(mpi.Byte, size)
+			win.Lock(1, mpi.LockShared, mpi.AssertNone)
+			issueOp(win, kind, buf, dt)
+			win.Flush(1)
+			start := env.Now()
+			for i := 0; i < iters; i++ {
+				for j := 0; j < window; j++ {
+					issueOp(win, kind, buf, dt)
+				}
+				win.Flush(1)
+			}
+			el := env.Now().Sub(start)
+			win.Unlock(1)
+			totalBytes := float64(size) * float64(window*iters)
+			secs := el.Seconds()
+			out = append(out, Result{
+				Bytes:   size,
+				MBps:    totalBytes / secs / 1e6,
+				MsgRate: float64(window*iters) / secs,
+			})
+		}
+		c.Barrier()
+	}
+	return out
+}
+
+func issueOp(win mpi.Window, kind mpi.OpKind, buf []byte, dt mpi.Datatype) {
+	switch kind {
+	case mpi.KindPut:
+		win.Put(buf, 1, 0, dt)
+	case mpi.KindGet:
+		win.Get(buf, 1, 0, dt)
+	case mpi.KindAcc:
+		win.Accumulate(buf, 1, 0, dt, mpi.OpSum)
+	default:
+		panic(fmt.Sprintf("osu: unsupported op %v", kind))
+	}
+}
+
+// RenderLatency formats latency rows.
+func RenderLatency(name string, rows []Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s\n%-12s %14s\n", name, "bytes", "latency")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12d %14v\n", r.Bytes, r.Latency)
+	}
+	return b.String()
+}
+
+// RenderBandwidth formats bandwidth rows.
+func RenderBandwidth(name string, rows []Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s\n%-12s %14s %14s\n", name, "bytes", "MB/s", "msg/s")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12d %14.1f %14.0f\n", r.Bytes, r.MBps, r.MsgRate)
+	}
+	return b.String()
+}

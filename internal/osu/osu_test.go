@@ -1,0 +1,156 @@
+package osu
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/mpi"
+	"repro/internal/netmodel"
+	"repro/internal/sim"
+)
+
+func osuConfig(net *netmodel.Params, ppn int) mpi.Config {
+	return mpi.Config{
+		Machine: cluster.Machine{Nodes: 2, CoresPerNode: 24, NUMAPerNode: 2},
+		N:       2 * ppn,
+		PPN:     ppn,
+		Net:     net,
+		Seed:    2,
+	}
+}
+
+func runPlain(t *testing.T, net *netmodel.Params, body func(env mpi.Env)) {
+	t.Helper()
+	if _, err := mpi.Run(osuConfig(net, 1), func(r *mpi.Rank) { body(r) }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func runCasper(t *testing.T, net *netmodel.Params, body func(env mpi.Env)) {
+	t.Helper()
+	_, err := mpi.Run(osuConfig(net, 2), func(r *mpi.Rank) {
+		p, ghost := core.Init(r, core.Config{NumGhosts: 1})
+		if ghost {
+			return
+		}
+		body(p)
+		p.Finalize()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSizes(t *testing.T) {
+	s := Sizes(8, 64)
+	want := []int{8, 16, 32, 64}
+	for i := range want {
+		if s[i] != want[i] {
+			t.Fatalf("sizes = %v", s)
+		}
+	}
+}
+
+func TestPutLatencyGrowsWithSize(t *testing.T) {
+	var rows []Result
+	runPlain(t, netmodel.CrayXC30(), func(env mpi.Env) {
+		if r := Latency(env, mpi.KindPut, Sizes(8, 65536), 4); r != nil {
+			rows = r
+		}
+	})
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Latency < rows[i-1].Latency {
+			t.Fatalf("latency not monotone: %+v", rows)
+		}
+	}
+	if rows[0].Latency <= 0 {
+		t.Fatal("zero latency")
+	}
+}
+
+func TestAccLatencyExceedsPutOnHardwarePlatform(t *testing.T) {
+	measure := func(kind mpi.OpKind) sim.Duration {
+		var lat sim.Duration
+		runPlain(t, netmodel.CrayXC30DMAPP(), func(env mpi.Env) {
+			if r := Latency(env, kind, []int{8}, 8); r != nil {
+				lat = r[0].Latency
+			}
+		})
+		return lat
+	}
+	put := measure(mpi.KindPut)
+	acc := measure(mpi.KindAcc)
+	if acc <= put {
+		t.Fatalf("software acc (%v) should cost more than hardware put (%v)", acc, put)
+	}
+}
+
+func TestBandwidthApproachesWire(t *testing.T) {
+	var rows []Result
+	runPlain(t, netmodel.CrayXC30(), func(env mpi.Env) {
+		if r := Bandwidth(env, mpi.KindPut, Sizes(1024, 262144), 32, 2); r != nil {
+			rows = r
+		}
+	})
+	last := rows[len(rows)-1]
+	// Wire model is 0.125 ns/B = 8000 MB/s; pipelined big puts should
+	// reach a large fraction of it.
+	if last.MBps < 2000 || last.MBps > 8200 {
+		t.Fatalf("large-message bandwidth %v MB/s implausible for an 8 GB/s wire", last.MBps)
+	}
+	if rows[0].MBps >= last.MBps {
+		t.Fatalf("bandwidth not growing with size: %+v", rows)
+	}
+	if last.MsgRate <= 0 {
+		t.Fatal("no message rate")
+	}
+}
+
+func TestCasperLatencyCloseToPlainForAcc(t *testing.T) {
+	// With both sides inside MPI (latency test posture) Casper's ghost
+	// adds only redirection overhead — within a small factor.
+	var plain, casper sim.Duration
+	runPlain(t, netmodel.CrayXC30(), func(env mpi.Env) {
+		if r := Latency(env, mpi.KindAcc, []int{8}, 8); r != nil {
+			plain = r[0].Latency
+		}
+	})
+	runCasper(t, netmodel.CrayXC30(), func(env mpi.Env) {
+		if r := Latency(env, mpi.KindAcc, []int{8}, 8); r != nil {
+			casper = r[0].Latency
+		}
+	})
+	if casper <= 0 || plain <= 0 {
+		t.Fatal("missing measurements")
+	}
+	if ratio := float64(casper) / float64(plain); ratio > 1.5 {
+		t.Fatalf("casper acc latency %.2fx plain (plain=%v casper=%v)", ratio, plain, casper)
+	}
+}
+
+func TestGetLatency(t *testing.T) {
+	var rows []Result
+	runPlain(t, netmodel.CrayXC30(), func(env mpi.Env) {
+		if r := Latency(env, mpi.KindGet, []int{8, 4096}, 4); r != nil {
+			rows = r
+		}
+	})
+	if len(rows) != 2 || rows[1].Latency <= rows[0].Latency {
+		t.Fatalf("get latency rows: %+v", rows)
+	}
+}
+
+func TestRenderers(t *testing.T) {
+	rows := []Result{{Bytes: 8, Latency: 1000, MBps: 12.5, MsgRate: 100}}
+	if s := RenderLatency("x", rows); !strings.Contains(s, "# x") || !strings.Contains(s, "8") {
+		t.Fatalf("latency render: %s", s)
+	}
+	if s := RenderBandwidth("y", rows); !strings.Contains(s, "MB/s") || !strings.Contains(s, "12.5") {
+		t.Fatalf("bw render: %s", s)
+	}
+}

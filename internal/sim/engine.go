@@ -1,0 +1,229 @@
+// Package sim provides a deterministic discrete-event simulation engine
+// with cooperatively scheduled goroutine processes running in virtual time.
+//
+// The engine executes exactly one goroutine at a time: either the event
+// loop itself or a single resumed process. Processes hand control back by
+// parking (blocking on a simulation primitive) or by returning. Because of
+// this strict alternation, simulation state — including state shared
+// between processes — needs no locking, and runs are fully deterministic
+// given a seed.
+//
+// All simulated time is virtual: a Proc that calls Advance consumes
+// simulated nanoseconds, not wall-clock time.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// Time is a point in virtual time, in nanoseconds since the start of the
+// simulation.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds.
+type Duration int64
+
+// Convenient duration units.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// String formats a Time as microseconds, the natural scale of the models
+// in this repository.
+func (t Time) String() string { return fmt.Sprintf("%.3fus", float64(t)/1e3) }
+
+// String formats a Duration as microseconds.
+func (d Duration) String() string { return fmt.Sprintf("%.3fus", float64(d)/1e3) }
+
+// Micros converts a Duration to floating-point microseconds.
+func (d Duration) Micros() float64 { return float64(d) / 1e3 }
+
+// Millis converts a Duration to floating-point milliseconds.
+func (d Duration) Millis() float64 { return float64(d) / 1e6 }
+
+// Seconds converts a Duration to floating-point seconds.
+func (d Duration) Seconds() float64 { return float64(d) / 1e9 }
+
+// Micros converts an absolute Time to floating-point microseconds.
+func (t Time) Micros() float64 { return float64(t) / 1e3 }
+
+// Add offsets a Time by a Duration.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the Duration elapsed from u to t.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Microseconds builds a Duration from a floating-point microsecond count.
+func Microseconds(us float64) Duration { return Duration(us * 1e3) }
+
+// event is a scheduled callback. Events at equal times fire in scheduling
+// order (seq) so runs are deterministic.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = event{}
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulator. Create one with New, spawn
+// processes with Spawn, then call Run.
+type Engine struct {
+	now    Time
+	events eventHeap
+	seq    uint64
+	yield  chan struct{}
+	procs  []*Proc
+	live   int
+	rng    *rand.Rand
+
+	panicked bool
+	panicVal interface{}
+}
+
+// New returns an Engine whose random source is seeded with seed, so that
+// any randomized model decisions are reproducible.
+func New(seed int64) *Engine {
+	return &Engine{
+		yield: make(chan struct{}),
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's deterministic random source. It must only be
+// used from simulation context (event callbacks or running processes).
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// At schedules fn to run at virtual time t. Scheduling in the past is an
+// error in the model and panics.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d from now.
+func (e *Engine) After(d Duration, fn func()) { e.At(e.now.Add(d), fn) }
+
+// Spawn creates a new process named name running fn and schedules it to
+// start at the current virtual time. The returned Proc may be used as a
+// wake target before it has started.
+func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
+	return e.SpawnAt(e.now, name, fn)
+}
+
+// SpawnAt is Spawn with an explicit start time.
+func (e *Engine) SpawnAt(t Time, name string, fn func(p *Proc)) *Proc {
+	p := &Proc{
+		eng:    e,
+		id:     len(e.procs),
+		name:   name,
+		resume: make(chan struct{}),
+		state:  stateNew,
+	}
+	e.procs = append(e.procs, p)
+	e.live++
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				e.panicVal = r
+				e.panicked = true
+			}
+			p.state = stateDone
+			e.live--
+			e.yield <- struct{}{}
+		}()
+		<-p.resume
+		fn(p)
+	}()
+	e.At(t, func() {
+		if p.state == stateNew {
+			p.state = stateRunning
+			e.transfer(p)
+		}
+	})
+	return p
+}
+
+// transfer hands control to p and blocks until p parks or terminates.
+// It must only be called from engine context (inside an event callback).
+// A panic inside the process is re-raised here, in the engine's
+// goroutine, so it propagates out of Run to the harness or test.
+func (e *Engine) transfer(p *Proc) {
+	p.resume <- struct{}{}
+	<-e.yield
+	if e.panicked {
+		panic(e.panicVal)
+	}
+}
+
+// DeadlockError reports that Run exhausted all events while processes were
+// still parked: the simulated system can make no further progress.
+type DeadlockError struct {
+	Time  Time
+	Stuck []string // "name: reason" for each parked process
+}
+
+func (d *DeadlockError) Error() string {
+	return fmt.Sprintf("sim: deadlock at %v; %d stuck: %s",
+		d.Time, len(d.Stuck), strings.Join(d.Stuck, "; "))
+}
+
+// Run executes events until none remain. It returns a *DeadlockError if
+// processes remain parked with no pending events, and nil otherwise.
+func (e *Engine) Run() error {
+	for e.events.Len() > 0 {
+		ev := heap.Pop(&e.events).(event)
+		e.now = ev.at
+		ev.fn()
+	}
+	if e.live > 0 {
+		d := &DeadlockError{Time: e.now}
+		for _, p := range e.procs {
+			if p.state == stateParked || p.state == stateNew {
+				d.Stuck = append(d.Stuck, p.name+": "+p.parkReason)
+			}
+		}
+		sort.Strings(d.Stuck)
+		return d
+	}
+	return nil
+}
+
+// MustRun is Run but panics on deadlock; used by tests and benchmarks
+// where a deadlock is a bug in the model.
+func (e *Engine) MustRun() {
+	if err := e.Run(); err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,85 @@
+package sim
+
+// Queue is an unbounded FIFO in virtual time. Any simulation context may
+// Put; processes may block in Get until an item is available. The zero
+// value is ready to use.
+type Queue[T any] struct {
+	items []T
+	sig   Signal
+}
+
+// Len returns the number of queued items.
+func (q *Queue[T]) Len() int { return len(q.items) }
+
+// Put appends v and wakes blocked getters.
+func (q *Queue[T]) Put(v T) {
+	q.items = append(q.items, v)
+	q.sig.Broadcast()
+}
+
+// TryGet pops the head item if one is present.
+func (q *Queue[T]) TryGet() (T, bool) {
+	var zero T
+	if len(q.items) == 0 {
+		return zero, false
+	}
+	v := q.items[0]
+	q.items[0] = zero
+	q.items = q.items[1:]
+	return v, true
+}
+
+// Get pops the head item, parking p until one is available.
+func (q *Queue[T]) Get(p *Proc, reason string) T {
+	for {
+		if v, ok := q.TryGet(); ok {
+			return v
+		}
+		q.sig.Wait(p, reason)
+	}
+}
+
+// Server models a serial resource (a CPU servicing a work queue): jobs
+// submitted to it execute one at a time in submission order, each
+// occupying the server for its duration. The zero value is an idle
+// server.
+type Server struct {
+	eng       *Engine
+	busyUntil Time
+	busy      Duration // total busy time, for utilization accounting
+	jobs      int
+}
+
+// NewServer returns an idle serial server on e.
+func NewServer(e *Engine) *Server { return &Server{eng: e} }
+
+// Submit enqueues a job that becomes runnable at time ready, takes d to
+// service, and invokes fn (if non-nil) when it finishes. It returns the
+// job's completion time. Submit does not block the caller.
+func (s *Server) Submit(ready Time, d Duration, fn func()) Time {
+	start := s.eng.now
+	if ready > start {
+		start = ready
+	}
+	if s.busyUntil > start {
+		start = s.busyUntil
+	}
+	end := start.Add(d)
+	s.busyUntil = end
+	s.busy += d
+	s.jobs++
+	if fn != nil {
+		s.eng.At(end, fn)
+	}
+	return end
+}
+
+// BusyUntil returns the time at which the server's current backlog
+// drains.
+func (s *Server) BusyUntil() Time { return s.busyUntil }
+
+// TotalBusy returns the cumulative service time of all submitted jobs.
+func (s *Server) TotalBusy() Duration { return s.busy }
+
+// Jobs returns the number of jobs ever submitted.
+func (s *Server) Jobs() int { return s.jobs }
