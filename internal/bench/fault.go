@@ -1,0 +1,245 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/mpi"
+	"repro/internal/netmodel"
+	"repro/internal/sim"
+	"repro/internal/stencil"
+)
+
+// Robustness experiments: the fault-injection counterpart of the paper's
+// evaluation. None of these regenerate a paper figure — Casper (IPDPS
+// 2015) assumes a fault-free run — but they validate that the ghost
+// redirection machinery recovers from ghost failure and that the
+// reliability layer is free when unused:
+//
+//	faultzero    — a zero-rate fault plan is observationally identical
+//	               to no plan at all (virtual time overhead must be 0%).
+//	faultrecover — a ghost crash mid-stencil: the run completes and the
+//	               computed grid stays bit-identical to the fault-free
+//	               run (failover to surviving ghosts; with g=1 the node
+//	               degrades to Original-mode target-side progress).
+//	faultsweep   — message drop rates vs virtual time for Original MPI,
+//	               Thread and Casper: retransmission recovers every loss.
+
+// stencilResult is one full Casper stencil run under a fault plan.
+type stencilResult struct {
+	interior [][]float64 // per user rank: its interior rows
+	elapsed  sim.Duration
+	degraded int64 // core.Stats.Degraded summed over user processes
+	summary  mpi.WorldSummary
+}
+
+// runStencilFault runs the fence stencil over Casper on 2 nodes with
+// users/2 user processes and g ghosts per node.
+func runStencilFault(users, g int, p stencil.Params, seed int64, plan *fault.Plan) stencilResult {
+	ppn := users/2 + g
+	n := 2 * ppn
+	cfg := worldConfig(netmodel.CrayXC30(), n, ppn, mpi.ProgressNone, false, seed)
+	cfg.Fault = plan
+	out := stencilResult{interior: make([][]float64, users)}
+	w, err := mpi.NewWorld(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("bench: %v", err))
+	}
+	w.Launch(func(r *mpi.Rank) {
+		pr, ghost := core.Init(r, core.Config{NumGhosts: g})
+		if ghost {
+			return
+		}
+		res := stencil.Run(pr, p)
+		out.interior[pr.Rank()] = res.Local
+		if res.Elapsed > out.elapsed {
+			out.elapsed = res.Elapsed
+		}
+		pr.Finalize()
+		out.degraded += pr.Stats().Degraded
+	})
+	if err := w.Run(); err != nil {
+		panic(fmt.Sprintf("bench: %v", err))
+	}
+	out.summary = w.Summary()
+	return out
+}
+
+// sameGrids reports whether two assembled interiors are bit-identical.
+func sameGrids(a, b [][]float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func faultStencilParams() stencil.Params {
+	// 32 interior rows divide evenly across 4 or 8 users; enough
+	// iterations that a mid-run crash leaves real work after detection.
+	return stencil.Params{N: 34, Iterations: 120}
+}
+
+func init() {
+	register(Experiment{
+		ID:     "faultzero",
+		Figure: "robustness",
+		Title:  "Zero-rate fault plan overhead (must be 0%)",
+		Run: func(o Options) *Result {
+			o = o.withDefaults()
+			res := &Result{
+				ID: "faultzero", Title: "Zero-rate fault plan overhead (must be 0%)",
+				XLabel: "user_procs", YLabel: "ms",
+			}
+			p := faultStencilParams()
+			var base, zero []float64
+			for _, users := range []int{4, 8} {
+				res.X = append(res.X, float64(users))
+				b := runStencilFault(users, 1, p, o.Seed, nil)
+				z := runStencilFault(users, 1, p, o.Seed, &fault.Plan{Seed: o.Seed})
+				base = append(base, b.elapsed.Millis())
+				zero = append(zero, z.elapsed.Millis())
+				ov := 0.0
+				if b.elapsed > 0 {
+					ov = 100 * (float64(z.elapsed) - float64(b.elapsed)) / float64(b.elapsed)
+				}
+				res.Notes = append(res.Notes, fmt.Sprintf(
+					"users=%d: overhead=%.3f%% identical_output=%v end_base=%v end_zero=%v",
+					users, ov, sameGrids(b.interior, z.interior),
+					b.summary.EndTime, z.summary.EndTime))
+			}
+			res.Series = []Series{{Name: "No plan", Y: base}, {Name: "Zero-rate plan", Y: zero}}
+			return res
+		},
+	})
+
+	register(Experiment{
+		ID:     "faultrecover",
+		Figure: "robustness",
+		Title:  "Ghost crash mid-stencil: failover and degraded progress",
+		Run: func(o Options) *Result {
+			o = o.withDefaults()
+			res := &Result{
+				ID: "faultrecover", Title: "Ghost crash mid-stencil: failover and degraded progress",
+				XLabel: "ghosts_per_node", YLabel: "ms",
+			}
+			const users = 8
+			p := faultStencilParams()
+			var base, crash []float64
+			for _, g := range []int{1, 2, 4} {
+				ppn := users/2 + g
+				n := 2 * ppn
+				res.X = append(res.X, float64(g))
+				b := runStencilFault(users, g, p, o.Seed, nil)
+				ghosts, err := core.GhostRanks(machineFor(n, ppn), n, ppn, g)
+				if err != nil {
+					panic(fmt.Sprintf("bench: %v", err))
+				}
+				// Kill the last ghost of node 1 — never the sequencer
+				// (the globally lowest ghost rank, on node 0) — at 40%
+				// of the fault-free end time.
+				victim := ghosts[1][len(ghosts[1])-1]
+				at := sim.Time(0.4 * float64(b.summary.EndTime))
+				c := runStencilFault(users, g, p, o.Seed, &fault.Plan{
+					Seed:    o.Seed,
+					Crashes: []fault.Crash{{Rank: victim, At: at}},
+				})
+				base = append(base, b.elapsed.Millis())
+				crash = append(crash, c.elapsed.Millis())
+				res.Notes = append(res.Notes, fmt.Sprintf(
+					"g=%d: victim=%d crash_at=%v bit_identical=%v reroutes=%d degraded_ops=%d failed=%d",
+					g, victim, at, sameGrids(b.interior, c.interior),
+					c.summary.Reroutes, c.degraded, c.summary.RanksFailed))
+			}
+			res.Series = []Series{{Name: "Fault-free", Y: base}, {Name: "Ghost crash", Y: crash}}
+			return res
+		},
+	})
+
+	register(Experiment{
+		ID:     "faultsweep",
+		Figure: "robustness",
+		Title:  "Message drop rate vs time (retransmission recovery)",
+		Run: func(o Options) *Result {
+			o = o.withDefaults()
+			res := &Result{
+				ID: "faultsweep", Title: "Message drop rate vs time (retransmission recovery)",
+				XLabel: "drop_rate", YLabel: "ms",
+			}
+			rates := []float64{0, 0.01, 0.02, 0.05, 0.1}
+			res.X = append(res.X, rates...)
+			const procs = 8
+			for _, a := range []approach{origMPI(), threadAp(), casperAp(1)} {
+				var ys []float64
+				var retrans, dups int64
+				for _, rate := range rates {
+					ms, sum := runFaultSweep(a, procs, rate, o.Seed)
+					ys = append(ys, ms)
+					retrans += sum.Retransmits
+					dups += sum.DupsSuppressed
+				}
+				res.Series = append(res.Series, Series{Name: a.name, Y: ys})
+				res.Notes = append(res.Notes, fmt.Sprintf(
+					"%s: retransmits=%d dups_suppressed=%d across sweep",
+					a.name, retrans, dups))
+			}
+			return res
+		},
+	})
+}
+
+// runFaultSweep measures the all-to-all accumulate workload for one
+// approach under a uniform message-drop plan.
+func runFaultSweep(a approach, procs int, rate float64, seed int64) (float64, mpi.WorldSummary) {
+	var maxEl sim.Duration
+	var w *mpi.World
+	jitter := func() sim.Duration {
+		return sim.Duration(w.Engine().Rand().Int63n(int64(sim.Microseconds(100))))
+	}
+	body := func(env mpi.Env) {
+		el := allToAllWorkload(mpi.KindAcc, jitter)(env)
+		if el > maxEl {
+			maxEl = el
+		}
+	}
+	plan := &fault.Plan{Seed: seed, DropRate: rate}
+	var cfg mpi.Config
+	if a.ghosts > 0 {
+		ppn := 1 + a.ghosts
+		cfg = worldConfig(a.net(), procs*ppn, ppn, a.prog, a.oversub, seed)
+	} else {
+		cfg = worldConfig(a.net(), procs, 1, a.prog, a.oversub, seed)
+	}
+	cfg.Fault = plan
+	var err error
+	w, err = mpi.NewWorld(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("bench: %v", err))
+	}
+	w.Launch(func(r *mpi.Rank) {
+		if a.ghosts > 0 {
+			p, ghost := core.Init(r, core.Config{NumGhosts: a.ghosts})
+			if ghost {
+				return
+			}
+			body(p)
+			p.Finalize()
+		} else {
+			body(r)
+		}
+	})
+	if err := w.Run(); err != nil {
+		panic(fmt.Sprintf("bench: %v", err))
+	}
+	return maxEl.Millis(), w.Summary()
+}

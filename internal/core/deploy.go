@@ -71,6 +71,56 @@ func ghostLocalIndices(ppn, numaPerNode, coresPerNUMA, g int) []int {
 	return out
 }
 
+// partitionGhosts computes the ghost/user partition for every node from
+// the placement alone — the deterministic rule both Init and external
+// harnesses (via GhostRanks) must agree on.
+func partitionGhosts(place *cluster.Placement, numGhosts int) (ghostsByNode, usersByNode [][]int, maxUsers int, err error) {
+	m := place.Machine()
+	nodes := place.NodesUsed()
+	ghostsByNode = make([][]int, nodes)
+	usersByNode = make([][]int, nodes)
+	perNUMA := m.CoresPerNUMA()
+	for node := 0; node < nodes; node++ {
+		ranks := place.NodeRanks(node)
+		ghostIdx := ghostLocalIndices(len(ranks), m.NUMAPerNode, perNUMA, numGhosts)
+		isG := make(map[int]bool, len(ghostIdx))
+		for _, i := range ghostIdx {
+			isG[i] = true
+		}
+		for i, wr := range ranks {
+			if isG[i] {
+				ghostsByNode[node] = append(ghostsByNode[node], wr)
+			} else {
+				usersByNode[node] = append(usersByNode[node], wr)
+			}
+		}
+		if len(usersByNode[node]) == 0 && len(ranks) > 0 {
+			return nil, nil, 0, fmt.Errorf("casper: node %d has no user processes", node)
+		}
+		if n := len(usersByNode[node]); n > maxUsers {
+			maxUsers = n
+		}
+	}
+	return ghostsByNode, usersByNode, maxUsers, nil
+}
+
+// GhostRanks returns, per node, the world ranks Init will carve out as
+// ghost processes for the given machine and placement — the same rule
+// buildDeployment applies. Harnesses use it to aim fault plans (crash or
+// stall a specific ghost) without reimplementing the carving.
+func GhostRanks(m cluster.Machine, n, ppn, numGhosts int) ([][]int, error) {
+	place, err := cluster.NewPlacement(m, n, ppn)
+	if err != nil {
+		return nil, err
+	}
+	if numGhosts >= ppn {
+		return nil, fmt.Errorf("casper: %d ghosts per node leaves no user processes (ppn %d)",
+			numGhosts, ppn)
+	}
+	ghosts, _, _, err := partitionGhosts(place, numGhosts)
+	return ghosts, err
+}
+
 // buildDeployment computes the ghost/user partition deterministically on
 // every rank from the placement alone.
 func buildDeployment(r *mpi.Rank, cfg Config) (*deployment, error) {
@@ -78,36 +128,15 @@ func buildDeployment(r *mpi.Rank, cfg Config) (*deployment, error) {
 		return nil, err
 	}
 	place := r.World().Placement()
-	m := place.Machine()
 	if cfg.NumGhosts >= place.PPN() {
 		return nil, fmt.Errorf("casper: %d ghosts per node leaves no user processes (ppn %d)",
 			cfg.NumGhosts, place.PPN())
 	}
 	d := &deployment{cfg: cfg, place: place, world: r.CommWorld()}
-	nodes := place.NodesUsed()
-	d.ghostsByNode = make([][]int, nodes)
-	d.usersByNode = make([][]int, nodes)
-	perNUMA := m.CoresPerNUMA()
-	for node := 0; node < nodes; node++ {
-		ranks := place.NodeRanks(node)
-		ghostIdx := ghostLocalIndices(len(ranks), m.NUMAPerNode, perNUMA, cfg.NumGhosts)
-		isG := make(map[int]bool, len(ghostIdx))
-		for _, i := range ghostIdx {
-			isG[i] = true
-		}
-		for i, wr := range ranks {
-			if isG[i] {
-				d.ghostsByNode[node] = append(d.ghostsByNode[node], wr)
-			} else {
-				d.usersByNode[node] = append(d.usersByNode[node], wr)
-			}
-		}
-		if len(d.usersByNode[node]) == 0 && len(ranks) > 0 {
-			return nil, fmt.Errorf("casper: node %d has no user processes", node)
-		}
-		if n := len(d.usersByNode[node]); n > d.maxUsers {
-			d.maxUsers = n
-		}
+	var err error
+	d.ghostsByNode, d.usersByNode, d.maxUsers, err = partitionGhosts(place, cfg.NumGhosts)
+	if err != nil {
+		return nil, err
 	}
 	node := place.Node(r.Rank())
 	for _, g := range d.ghostsByNode[node] {
@@ -145,6 +174,13 @@ func Init(r *mpi.Rank, cfg Config) (*Process, bool) {
 		ghostLoop(r, d)
 		return nil, true
 	}
+	// User processes monitor ghost health so routing can fail over after
+	// a detected ghost crash. No-op unless a fault plan is installed.
+	var ghosts []int
+	for _, gs := range d.ghostsByNode {
+		ghosts = append(ghosts, gs...)
+	}
+	r.World().TrackHealth(ghosts)
 	return &Process{r: r, d: d}, false
 }
 

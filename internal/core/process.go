@@ -27,6 +27,7 @@ type Stats struct {
 	Split      int64 // extra pieces created by segment splitting
 	Dynamic    int64 // operations routed by dynamic load balancing
 	SelfLocal  int64 // self put/get completed through shared memory
+	Degraded   int64 // routing decisions that fell back to target-side progress (all ghosts of a node dead)
 }
 
 var _ mpi.Env = (*Process)(nil)
@@ -123,18 +124,20 @@ func (p *Process) WinAllocate(comm *mpi.Comm, size int, info mpi.Info) (mpi.Wind
 	root := shared.Region().Root()
 
 	// Step 2: internal overlapping windows over all window users plus
-	// all ghosts. User processes expose nothing on them; ghosts expose
-	// the whole node segment. Operations never target user ranks on
-	// these windows.
+	// all ghosts. Every member exposes the whole node segment: ghosts
+	// because they service redirected operations, users so that a node
+	// that loses all its ghosts can degrade to target-side progress.
+	// Operations target only ghost ranks on these windows while any
+	// ghost of the node survives.
 	internal := p.r.CommFromGroup(topo.internalRanks(users))
 	nLock := p.d.lockWindowCount(epochs, topo.maxUsers)
 	lockWins := make([]*mpi.Win, nLock)
 	for i := range lockWins {
-		lockWins[i] = p.r.WinCreate(internal, mpi.Region{}, nil)
+		lockWins[i] = p.r.WinCreate(internal, root, nil)
 	}
 	var activeWin *mpi.Win
 	if epochs.needActive() {
-		activeWin = p.r.WinCreate(internal, mpi.Region{}, nil)
+		activeWin = p.r.WinCreate(internal, root, nil)
 	}
 
 	// Step 3: the user-visible window over the users' communicator.
@@ -188,6 +191,14 @@ func (p *Process) WinAllocate(comm *mpi.Comm, size int, info mpi.Info) (mpi.Wind
 	cw.cmdIdx = p.winCounts[cw.cmdKey]
 	p.winCounts[cw.cmdKey]++
 	cw.buildLayout(size, topo)
+	if p.r.World().FaultsEnabled() {
+		for _, w := range lockWins {
+			w.SetReroute(cw.rerouteGhost)
+		}
+		if activeWin != nil {
+			activeWin.SetReroute(cw.rerouteGhost)
+		}
+	}
 	// The active window holds a standing lockall from every user
 	// process: fence and PSCW translate onto it without any ghost
 	// participation in synchronization (Section III-C-1).

@@ -194,6 +194,7 @@ func (cw *casperWin) route(kind mpi.OpKind, t, disp int, dt mpi.Datatype,
 		ghost = cw.chooseDynamic(ti)
 		cw.p.stats.Dynamic++
 	}
+	ghost = cw.progressTarget(ti, ghost)
 	return []piece{{ghost: ghost, disp: abs, dt: dt, src: src, dst: dst}}
 }
 
@@ -300,7 +301,7 @@ func (cw *casperWin) splitBySegments(ti *tinfo, abs int, dt mpi.Datatype,
 				panic("casper: segment split tore a basic element")
 			}
 			pc := piece{
-				ghost: cw.ownerOf(ti, lo),
+				ghost: cw.progressTarget(ti, cw.ownerOf(ti, lo)),
 				disp:  lo,
 				dt:    mpi.TypeOf(dt.Basic, run/es),
 			}

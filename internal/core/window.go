@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/mpi"
 )
@@ -48,24 +49,26 @@ var _ mpi.Window = (*casperWin)(nil)
 
 // tinfo is the routing metadata of one user target.
 type tinfo struct {
-	world      int   // world rank of the target user process
-	node       int   // its node
-	base       int   // offset of its memory in the node's shared segment
-	size       int   // its window size
-	ghosts     []int // ghost ranks of its node, as internal-comm ranks
-	bound      int   // rank-binding ghost (internal-comm rank)
-	lockWinIdx int   // which overlapping window serves lock epochs to it
-	nodeTotal  int   // total user bytes exposed on its node
-	chunk      int   // segment-binding chunk size on its node (16-aligned)
+	world        int   // world rank of the target user process
+	node         int   // its node
+	base         int   // offset of its memory in the node's shared segment
+	size         int   // its window size
+	ghosts       []int // ghost ranks of its node, as internal-comm ranks
+	bound        int   // rank-binding ghost (internal-comm rank)
+	selfInternal int   // the target user itself, as an internal-comm rank (degraded routing)
+	lockWinIdx   int   // which overlapping window serves lock epochs to it
+	nodeTotal    int   // total user bytes exposed on its node
+	chunk        int   // segment-binding chunk size on its node (16-aligned)
 }
 
 // ctarget is per-target epoch state at this origin.
 type ctarget struct {
-	locked    bool
-	lt        mpi.LockType
-	viaAll    bool
-	ghostsLkd bool // ghost locks issued on the target's window
-	dynamicOK bool // a flush completed: static-binding-free interval open
+	locked       bool
+	lt           mpi.LockType
+	viaAll       bool
+	ghostsLkd    bool  // ghost locks issued on the target's window
+	lockedGhosts []int // exactly which internal ranks we locked this epoch
+	dynamicOK    bool  // a flush completed: static-binding-free interval open
 }
 
 type lbCount struct{ ops, bytes int64 }
@@ -109,7 +112,7 @@ func (cw *casperWin) buildLayout(mySize int, topo winTopology) {
 	toInternal := func(worldRank int) int {
 		cr, ok := cw.internal.CommRankOf(worldRank)
 		if !ok {
-			panic(fmt.Sprintf("casper: ghost %d missing from internal comm", worldRank))
+			panic(fmt.Sprintf("casper: rank %d missing from internal comm", worldRank))
 		}
 		return cr
 	}
@@ -120,6 +123,7 @@ func (cw *casperWin) buildLayout(mySize int, topo winTopology) {
 			ti.ghosts = append(ti.ghosts, toInternal(gw))
 		}
 		ti.bound = toInternal(d.boundGhost(ti.world))
+		ti.selfInternal = toInternal(ti.world)
 		if len(cw.lockWins) > 0 {
 			ti.lockWinIdx = topo.windowLocalIndex(d, ti.world) % len(cw.lockWins)
 		}
@@ -162,7 +166,9 @@ func (cw *casperWin) winFor(t int, ts *ctarget) *mpi.Win {
 
 // ensureGhostLocks opens the passive epoch toward all ghosts of t's node
 // on t's window, once per epoch ("Casper will internally lock all ghost
-// processes on a node", III-B).
+// processes on a node", III-B). After a detected ghost failure only the
+// surviving ghosts (or, fully degraded, the target itself) are locked;
+// the exact set is recorded so Unlock releases what was taken.
 func (cw *casperWin) ensureGhostLocks(t int, ts *ctarget, w *mpi.Win) {
 	if ts.ghostsLkd || w == cw.active {
 		// The active window holds a standing lockall; per-ghost lock
@@ -170,10 +176,118 @@ func (cw *casperWin) ensureGhostLocks(t int, ts *ctarget, w *mpi.Win) {
 		return
 	}
 	lt := ts.lt
-	for _, g := range cw.layout[t].ghosts {
+	ghosts := cw.progressRanks(&cw.layout[t])
+	for _, g := range ghosts {
 		w.Lock(g, lt, mpi.AssertNone)
 	}
+	ts.lockedGhosts = append([]int(nil), ghosts...)
 	ts.ghostsLkd = true
+}
+
+// progressRanks returns the internal-comm ranks providing target-side
+// progress for t's node: its ghosts normally, the surviving subset
+// after detected failures, or the target user process itself (falling
+// back to Original-mode progress) when the node has lost every ghost.
+func (cw *casperWin) progressRanks(ti *tinfo) []int {
+	w := cw.p.r.World()
+	if !w.AnyHealthFailure() {
+		return ti.ghosts
+	}
+	var alive []int
+	for _, g := range ti.ghosts {
+		if !w.HealthFailed(cw.internal.WorldRank(g)) {
+			alive = append(alive, g)
+		}
+	}
+	if len(alive) == 0 {
+		cw.p.stats.Degraded++
+		return []int{ti.selfInternal}
+	}
+	return alive
+}
+
+// progressTarget maps a preferred routing choice to a live one. The
+// preference stands unless that ghost was declared dead; the substitute
+// is a deterministic function of the target alone, so every origin
+// redirects a given target's operations to the same surviving ghost and
+// the static-binding ordering rules for accumulates (III-B) carry over.
+func (cw *casperWin) progressTarget(ti *tinfo, preferred int) int {
+	w := cw.p.r.World()
+	if !w.AnyHealthFailure() {
+		return preferred
+	}
+	if !w.HealthFailed(cw.internal.WorldRank(preferred)) {
+		return preferred
+	}
+	alive := cw.progressRanks(ti)
+	return alive[cw.p.d.userLocalIndex(ti.world)%len(alive)]
+}
+
+// rerouteGhost is the window failover hook (mpi.Win.SetReroute): when a
+// stream's target ghost dies with operations still in flight, pick the
+// surviving internal rank exposing the same node segment. Ranks are
+// internal-comm ranks; disp is the absolute node-segment offset, which
+// identifies the user target whose routing preference decides the
+// replacement (so rerouted and freshly routed operations agree).
+func (cw *casperWin) rerouteGhost(origin, oldTarget, disp int) (int, bool) {
+	deadWorld := cw.internal.WorldRank(oldTarget)
+	node := cw.p.d.place.Node(deadWorld)
+	pick := func(ti *tinfo) (int, bool) {
+		nt := cw.progressTarget(ti, oldTarget)
+		if nt == oldTarget {
+			return 0, false
+		}
+		return nt, true
+	}
+	var fallback *tinfo
+	for t := range cw.layout {
+		ti := &cw.layout[t]
+		if ti.node != node {
+			continue
+		}
+		if fallback == nil {
+			fallback = ti
+		}
+		end := ti.base + ti.size
+		if ti.size == 0 {
+			end = ti.base + 1
+		}
+		if disp >= ti.base && disp < end {
+			return pick(ti)
+		}
+	}
+	if fallback != nil {
+		// Displacement lands in alignment padding; every target of the
+		// node shares the same ghost set, so any of them routes it.
+		return pick(fallback)
+	}
+	return 0, false
+}
+
+// flushRanks is the set of internal ranks cw.Flush must drain for
+// target t: the ghosts locked this epoch (dead ones included — their
+// outstanding operations complete through reroute or synthesized acks
+// into the same completion sets), plus the degraded self target on the
+// active window.
+func (cw *casperWin) flushRanks(t int, ts *ctarget, w *mpi.Win) []int {
+	ti := &cw.layout[t]
+	base := ti.ghosts
+	if ts != nil && ts.lockedGhosts != nil {
+		base = ts.lockedGhosts
+	}
+	if w != cw.active || !cw.p.r.World().AnyHealthFailure() {
+		return base
+	}
+	alive := cw.progressRanks(ti)
+	if len(alive) == 1 && alive[0] == ti.selfInternal {
+		for _, g := range base {
+			if g == ti.selfInternal {
+				return base
+			}
+		}
+		return append(append([]int(nil), base...), ti.selfInternal)
+	}
+	return base
 }
 
 // --- Synchronization translation (Section III-C) ----------------------
@@ -280,7 +394,11 @@ func (cw *casperWin) Unlock(t int) {
 		panic(fmt.Sprintf("casper: Unlock of target %d without Lock", t))
 	}
 	w := cw.winFor(t, ts)
-	for _, g := range cw.layout[t].ghosts {
+	locked := ts.lockedGhosts
+	if locked == nil {
+		locked = cw.layout[t].ghosts
+	}
+	for _, g := range locked {
 		w.Unlock(g)
 	}
 	delete(cw.targets, t)
@@ -304,11 +422,16 @@ func (cw *casperWin) UnlockAll() {
 		panic("casper: UnlockAll without LockAll")
 	}
 	if cw.epochs.lock {
-		for t, ts := range cw.targets {
+		for _, t := range cw.targetOrder() {
+			ts := cw.targets[t]
 			if ts.viaAll && ts.locked {
 				if ts.ghostsLkd {
 					w := cw.lockWins[cw.layout[t].lockWinIdx]
-					for _, g := range cw.layout[t].ghosts {
+					locked := ts.lockedGhosts
+					if locked == nil {
+						locked = cw.layout[t].ghosts
+					}
+					for _, g := range locked {
 						w.Unlock(g)
 					}
 				}
@@ -346,7 +469,7 @@ func (cw *casperWin) Flush(t int) {
 	if ts.locked {
 		cw.ensureGhostLocks(t, ts, w)
 	}
-	for _, g := range cw.layout[t].ghosts {
+	for _, g := range cw.flushRanks(t, ts, w) {
 		w.Acquire(g)
 		w.Flush(g)
 	}
@@ -355,13 +478,14 @@ func (cw *casperWin) Flush(t int) {
 
 // FlushAll flushes every target this origin has touched.
 func (cw *casperWin) FlushAll() {
-	for t, ts := range cw.targets {
+	for _, t := range cw.targetOrder() {
+		ts := cw.targets[t]
 		if !ts.locked {
 			continue
 		}
 		w := cw.winFor(t, ts)
 		cw.ensureGhostLocks(t, ts, w)
-		for _, g := range cw.layout[t].ghosts {
+		for _, g := range cw.flushRanks(t, ts, w) {
 			w.Acquire(g)
 			w.Flush(g)
 		}
@@ -421,6 +545,18 @@ func (cw *casperWin) requireEpoch(declared bool, name string) {
 		panic(fmt.Sprintf("casper: %s epoch used but not declared in %s hint",
 			name, InfoEpochsUsed))
 	}
+}
+
+// targetOrder returns the touched targets in ascending index order.
+// Epoch-closing loops issue real operations (locks, flushes) that take
+// virtual time, so map iteration order must not leak into the timeline.
+func (cw *casperWin) targetOrder() []int {
+	order := make([]int, 0, len(cw.targets))
+	for t := range cw.targets {
+		order = append(order, t)
+	}
+	sort.Ints(order)
+	return order
 }
 
 func (cw *casperWin) resetDynamic() {

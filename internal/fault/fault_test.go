@@ -1,0 +1,101 @@
+package fault
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestValidateRejectsNonsense(t *testing.T) {
+	bad := []Plan{
+		{DropRate: -0.1},
+		{DropRate: 1.5},
+		{DelayRate: 2},
+		{DupRate: -1},
+		{DelayMax: -sim.Microsecond},
+		{Crashes: []Crash{{Rank: 0, At: -1}}},
+		{Stalls: []Stall{{Rank: 0, At: 1, Duration: -1}}},
+		{Stragglers: map[int]float64{0: 0.5}},
+	}
+	for i, p := range bad {
+		if _, err := NewInjector(&p); err == nil {
+			t.Errorf("plan %d accepted: %+v", i, p)
+		}
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	in, err := NewInjector(&Plan{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := in.Plan()
+	if p.Seed != 1 {
+		t.Errorf("zero seed not defaulted: %d", p.Seed)
+	}
+	if p.DelayMax != 10*sim.Microsecond {
+		t.Errorf("zero DelayMax not defaulted: %v", p.DelayMax)
+	}
+}
+
+func TestZeroRatePlanNeverFaults(t *testing.T) {
+	in, err := NewInjector(&Plan{Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10000; i++ {
+		if d := in.Transmission(); d.Drop || d.Dup || d.Extra != 0 {
+			t.Fatalf("zero-rate plan injected a fault: %+v", d)
+		}
+	}
+	if s := in.Stats(); s != (Stats{}) {
+		t.Fatalf("zero-rate plan counted faults: %+v", s)
+	}
+}
+
+func TestSameSeedSameFaultSequence(t *testing.T) {
+	plan := Plan{Seed: 7, DropRate: 0.1, DelayRate: 0.2, DupRate: 0.05}
+	a, _ := NewInjector(&plan)
+	b, _ := NewInjector(&plan)
+	for i := 0; i < 5000; i++ {
+		da, db := a.Transmission(), b.Transmission()
+		if da != db {
+			t.Fatalf("decision %d diverged: %+v vs %+v", i, da, db)
+		}
+	}
+	if a.Stats() != b.Stats() {
+		t.Fatalf("stats diverged: %+v vs %+v", a.Stats(), b.Stats())
+	}
+	if a.Stats().Drops == 0 || a.Stats().Delays == 0 || a.Stats().Dups == 0 {
+		t.Fatalf("rates never fired over 5000 draws: %+v", a.Stats())
+	}
+}
+
+func TestDelayBounded(t *testing.T) {
+	in, _ := NewInjector(&Plan{Seed: 3, DelayRate: 1, DelayMax: 5 * sim.Microsecond})
+	for i := 0; i < 1000; i++ {
+		d := in.Transmission()
+		if d.Extra <= 0 || d.Extra > 5*sim.Microsecond {
+			t.Fatalf("delay %v outside (0, 5us]", d.Extra)
+		}
+	}
+}
+
+func TestComputeFactor(t *testing.T) {
+	in, _ := NewInjector(&Plan{Stragglers: map[int]float64{2: 3.5}})
+	if f := in.ComputeFactor(2); f != 3.5 {
+		t.Errorf("straggler factor = %v, want 3.5", f)
+	}
+	if f := in.ComputeFactor(0); f != 1 {
+		t.Errorf("non-straggler factor = %v, want 1", f)
+	}
+}
+
+func TestPlanCopiedByInjector(t *testing.T) {
+	plan := Plan{Seed: 5, DropRate: 0.5}
+	in, _ := NewInjector(&plan)
+	plan.DropRate = 0 // caller mutation must not affect the injector
+	if in.Plan().DropRate != 0.5 {
+		t.Fatal("injector shares the caller's plan")
+	}
+}

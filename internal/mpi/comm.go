@@ -38,6 +38,7 @@ func (w *World) newCommGlobal(worldRanks []int) *commGlobal {
 	for i, r := range g.ranks {
 		g.index[r] = i
 	}
+	w.comms = append(w.comms, g)
 	return g
 }
 
@@ -147,7 +148,11 @@ func (c *Comm) Send(dest, tag int, data []byte) {
 		arrival = r.p2pLast[destWorld] + 1
 	}
 	r.p2pLast[destWorld] = arrival
-	eng.At(arrival, func() { dr.mailbox.arrive(msg) })
+	if rel := r.w.rel; rel != nil {
+		rel.sendMsg(r, destWorld, msg, arrival)
+	} else {
+		eng.At(arrival, func() { dr.mailbox.arrive(msg) })
+	}
 	r.stats.MessagesSent++
 }
 
@@ -175,12 +180,16 @@ func (c *Comm) Recv(src, tag int) ([]byte, Status) {
 // --- Collectives ----------------------------------------------------
 
 type collOp struct {
-	name    string // collective type, to diagnose mismatched calls
-	arrived int
-	left    int
-	vals    []interface{}
-	result  interface{}
-	done    sim.Completion
+	name      string // collective type, to diagnose mismatched calls
+	arrived   int
+	left      int
+	seen      []bool // per comm rank: has it arrived?
+	vals      []interface{}
+	result    interface{}
+	reduce    func(vals []interface{}) interface{} // last arriver's reduce
+	cost      sim.Duration                         // last arriver's cost
+	completed bool
+	done      sim.Completion
 }
 
 // rounds returns ceil(log2(n)), the depth of a dissemination/tree
@@ -205,7 +214,9 @@ func (c *Comm) collective(name string, val interface{},
 	g.gen[c.me]++
 	coll, ok := g.colls[gen]
 	if !ok {
-		coll = &collOp{name: name, vals: make([]interface{}, len(g.ranks))}
+		coll = &collOp{name: name,
+			seen: make([]bool, len(g.ranks)),
+			vals: make([]interface{}, len(g.ranks))}
 		g.colls[gen] = coll
 	}
 	if coll.name != name {
@@ -213,21 +224,78 @@ func (c *Comm) collective(name string, val interface{},
 			g.id, c.me, name, coll.name))
 	}
 	coll.vals[c.me] = val
+	coll.seen[c.me] = true
 	coll.arrived++
-	if coll.arrived == len(g.ranks) {
-		if reduce != nil {
-			coll.result = reduce(coll.vals)
-		}
-		done := coll.done.Complete
-		r.w.eng.After(cost, done)
-	}
+	// Record the reduce and cost on every arrival so that, alive or
+	// dead, the collective always completes with the *last arriver's*
+	// view — exactly the fault-free semantics when nobody dies.
+	coll.reduce = reduce
+	coll.cost = cost
+	g.maybeComplete(coll)
 	coll.done.Await(r.proc, name)
 	res := coll.result
 	coll.left++
-	if coll.left == len(g.ranks) {
+	if coll.left >= g.aliveN() {
 		delete(g.colls, gen)
 	}
 	return res
+}
+
+// aliveN returns the number of comm members that have not crashed. The
+// fast path keeps fault-free worlds on the seed code path.
+func (g *commGlobal) aliveN() int {
+	if g.w.failedCount == 0 {
+		return len(g.ranks)
+	}
+	n := 0
+	for _, wr := range g.ranks {
+		if !g.w.ranks[wr].failed {
+			n++
+		}
+	}
+	return n
+}
+
+// maybeComplete fires the collective once every surviving member has
+// arrived. Called on each arrival and again from reapFailed when a
+// member crashes, so survivors are never held hostage by a corpse.
+func (g *commGlobal) maybeComplete(coll *collOp) {
+	if coll.completed || coll.arrived == 0 {
+		return
+	}
+	if g.w.failedCount == 0 {
+		if coll.arrived < len(g.ranks) {
+			return
+		}
+	} else {
+		for i, wr := range g.ranks {
+			if !coll.seen[i] && !g.w.ranks[wr].failed {
+				return
+			}
+		}
+	}
+	coll.completed = true
+	if coll.reduce != nil {
+		coll.result = coll.reduce(coll.vals)
+	}
+	done := coll.done.Complete
+	g.w.eng.After(coll.cost, done)
+}
+
+// reapFailed re-examines this comm's open collectives after a crash
+// (gen order, for determinism).
+func (g *commGlobal) reapFailed() {
+	if len(g.colls) == 0 {
+		return
+	}
+	gens := make([]int, 0, len(g.colls))
+	for gen := range g.colls {
+		gens = append(gens, gen)
+	}
+	sort.Ints(gens)
+	for _, gen := range gens {
+		g.maybeComplete(g.colls[gen])
+	}
 }
 
 // barrierCost models a dissemination barrier.
@@ -266,11 +334,18 @@ func (c *Comm) AllreduceFloat64(vals []float64, op Op) []float64 {
 	cost := sim.Duration(rounds(n)) * (c.g.w.net.InterLatency +
 		sim.Duration(float64(8*len(vals))*c.g.w.net.InterPerByte))
 	res := c.collective("MPI_Allreduce", vals, cost, func(all []interface{}) interface{} {
-		out := append([]float64(nil), all[0].([]float64)...)
+		var out []float64
 		buf := make([]byte, 8)
 		acc := make([]byte, 8)
-		for _, v := range all[1:] {
-			vv := v.([]float64)
+		for _, v := range all {
+			vv, ok := v.([]float64)
+			if !ok {
+				continue // crashed member: no contribution
+			}
+			if out == nil {
+				out = append([]float64(nil), vv...)
+				continue
+			}
 			for i := range out {
 				// Reuse the element combiner for exact MPI semantics.
 				putF64(acc, out[i])
@@ -281,7 +356,8 @@ func (c *Comm) AllreduceFloat64(vals []float64, op Op) []float64 {
 		}
 		return out
 	})
-	return append([]float64(nil), res.([]float64)...)
+	out, _ := res.([]float64)
+	return append([]float64(nil), out...)
 }
 
 // ReduceFloat64 element-wise reduces onto root only; other ranks
@@ -303,11 +379,13 @@ func (c *Comm) AllgatherFloat64(vals []float64) []float64 {
 	res := c.collective("MPI_Allgather", vals, cost, func(all []interface{}) interface{} {
 		var out []float64
 		for _, v := range all {
-			out = append(out, v.([]float64)...)
+			vv, _ := v.([]float64) // crashed member: gathers nothing
+			out = append(out, vv...)
 		}
 		return out
 	})
-	return append([]float64(nil), res.([]float64)...)
+	out, _ := res.([]float64)
+	return append([]float64(nil), out...)
 }
 
 // AlltoallFloat64 exchanges personalized vectors: send[i] goes to rank
@@ -328,12 +406,18 @@ func (c *Comm) AlltoallFloat64(send []float64) []float64 {
 		for i := range out {
 			out[i] = make([]float64, len(all))
 			for j, v := range all {
-				out[i][j] = v.([]float64)[i]
+				if vv, ok := v.([]float64); ok { // crashed member sends zeros
+					out[i][j] = vv[i]
+				}
 			}
 		}
 		return out
 	})
-	return append([]float64(nil), res.([][]float64)[me]...)
+	rows, _ := res.([][]float64)
+	if rows == nil {
+		return nil
+	}
+	return append([]float64(nil), rows[me]...)
 }
 
 // AllgatherInt gathers one int from each rank, indexed by comm rank
@@ -344,11 +428,13 @@ func (c *Comm) AllgatherInt(v int) []int {
 	res := c.collective("MPI_Allgather", v, cost, func(all []interface{}) interface{} {
 		out := make([]int, len(all))
 		for i, x := range all {
-			out[i] = x.(int)
+			xv, _ := x.(int) // crashed member gathers zero
+			out[i] = xv
 		}
 		return out
 	})
-	return append([]int(nil), res.([]int)...)
+	out, _ := res.([]int)
+	return append([]int(nil), out...)
 }
 
 type splitKey struct {
@@ -365,8 +451,8 @@ func (c *Comm) Split(color, key int) *Comm {
 			byColor := map[int][]int{} // color -> comm ranks
 			var colors []int
 			for i, v := range all {
-				sk := v.(splitKey)
-				if sk.color < 0 {
+				sk, ok := v.(splitKey)
+				if !ok || sk.color < 0 { // crashed member: MPI_UNDEFINED
 					continue
 				}
 				if _, ok := byColor[sk.color]; !ok {

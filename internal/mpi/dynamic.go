@@ -49,7 +49,8 @@ func (w *Win) Attach(buf []byte) int {
 	r.mpiEnter()
 	defer r.mpiLeave()
 	if !w.g.dynamic {
-		panic("mpi: Attach on a non-dynamic window")
+		r.raise(ErrRMAAttach, "mpi: Attach on a non-dynamic window")
+		return 0
 	}
 	seg := r.w.newSegment(len(buf))
 	copy(seg.data, buf)
@@ -69,7 +70,8 @@ func (w *Win) AttachRegion(reg Region) int {
 	r.mpiEnter()
 	defer r.mpiLeave()
 	if !w.g.dynamic {
-		panic("mpi: AttachRegion on a non-dynamic window")
+		r.raise(ErrRMAAttach, "mpi: AttachRegion on a non-dynamic window")
+		return 0
 	}
 	base := w.g.nextBase[w.me]
 	w.g.nextBase[w.me] += (reg.n+MaxBasicSize-1)/MaxBasicSize*MaxBasicSize + MaxBasicSize
@@ -104,18 +106,22 @@ func (w *Win) Detach(base int) {
 			return
 		}
 	}
-	panic(fmt.Sprintf("mpi: Detach of unattached base %#x", base))
+	r.raise(ErrRMAAttach, "mpi: Detach of unattached base %#x", base)
 }
 
 // resolveDynamic maps a target displacement to the attached region
 // containing [disp, disp+extent). Runs target-side at apply time — the
-// origin cannot bounds-check a dynamic window.
-func (g *winGlobal) resolveDynamic(target, disp, extent int) (Region, int) {
+// origin cannot bounds-check a dynamic window. Under ErrorsReturn the
+// error is raised on the target rank and ok=false is returned; the op
+// becomes a no-op (but is still acknowledged).
+func (g *winGlobal) resolveDynamic(target, disp, extent int) (Region, int, bool) {
 	for _, a := range g.attached[target] {
 		if disp >= a.base && disp+extent <= a.base+a.reg.n {
-			return a.reg, disp - a.base
+			return a.reg, disp - a.base, true
 		}
 	}
-	panic(fmt.Sprintf("mpi: dynamic-window access at [%#x,%#x) on rank %d hits no attached memory",
-		disp, disp+extent, g.comm.ranks[target]))
+	g.rankOf(target).raise(ErrRMARange,
+		"mpi: dynamic-window access at [%#x,%#x) on rank %d hits no attached memory",
+		disp, disp+extent, g.comm.ranks[target])
+	return Region{}, 0, false
 }

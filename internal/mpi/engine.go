@@ -66,6 +66,20 @@ func (e *rankEngine) leaveMPI() {
 // deliver is invoked (in engine context) when a software AM arrives at
 // this rank.
 func (e *rankEngine) deliver(d *delivery) {
+	r := e.r
+	if r.failed {
+		// Dead target: swallow; the origin recovers via timeout/failover.
+		return
+	}
+	if now := r.w.eng.Now(); now < r.stalledUntil {
+		// Stalled progress engine: the AM sits in the NIC until the
+		// stall ends. Regular event — the origin is parked waiting for
+		// the ack, so this must keep the simulation alive. The original
+		// arrival time is kept, so the trace shows the full stall.
+		until := r.stalledUntil
+		r.w.eng.At(until, func() { e.deliver(d) })
+		return
+	}
 	switch e.r.w.cfg.Progress {
 	case ProgressNone:
 		if e.inMPI > 0 {

@@ -1,0 +1,207 @@
+package mpi
+
+import (
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Process-failure model. Two layers of knowledge coexist, as in a real
+// system:
+//
+//   - Ground truth: killRank marks a Rank failed at its crash instant.
+//     From then on its goroutine never runs again, messages to it are
+//     swallowed, and collectives complete over the survivors.
+//   - Detection: the rest of the system only learns about the death
+//     through missed heartbeats. healthState schedules a beacon per
+//     tracked rank and a monitor sweep, both as background events in
+//     the DES; after a grace period without a beacon the rank is marked
+//     health-failed and death hooks fire (retransmission failover, the
+//     Casper rebinding machinery).
+//
+// A stalled rank skips its beacons, so a stall longer than the grace
+// period is indistinguishable from a crash to everyone else — which is
+// exactly the ambiguity a real failure detector faces.
+
+// Default health-monitoring parameters.
+const (
+	defaultBeaconInterval = 20 * sim.Microsecond
+	defaultGracePeriod    = 80 * sim.Microsecond
+)
+
+// healthState is the world-global failure detector.
+type healthState struct {
+	w          *World
+	interval   sim.Duration
+	grace      sim.Duration
+	tracked    []int // world ranks, in registration order
+	lastSeen   map[int]sim.Time
+	failed     map[int]bool
+	nfailed    int
+	monitoring bool
+}
+
+// TrackHealth begins heartbeat liveness monitoring of the given world
+// ranks (typically Casper's ghosts). No-op unless the world has a fault
+// plan — without one no process can fail and monitoring would be pure
+// overhead. Idempotent per rank; callable from any simulation context.
+func (w *World) TrackHealth(worldRanks []int) {
+	if w.inj == nil {
+		return
+	}
+	if w.health == nil {
+		w.health = &healthState{
+			w:        w,
+			interval: defaultBeaconInterval,
+			grace:    defaultGracePeriod,
+			lastSeen: map[int]sim.Time{},
+			failed:   map[int]bool{},
+		}
+	}
+	h := w.health
+	now := w.eng.Now()
+	for _, id := range worldRanks {
+		if id < 0 || id >= len(w.ranks) {
+			continue
+		}
+		if _, ok := h.lastSeen[id]; ok {
+			continue
+		}
+		h.tracked = append(h.tracked, id)
+		h.lastSeen[id] = now
+		h.beacon(id)
+	}
+	if !h.monitoring && len(h.tracked) > 0 {
+		h.monitoring = true
+		w.eng.AfterBG(h.interval, h.monitor)
+	}
+}
+
+// HealthFailed reports whether the failure detector has declared the
+// rank dead. False for untracked ranks and worlds without monitoring —
+// ground-truth death (Rank.failed) may precede detection.
+func (w *World) HealthFailed(worldRank int) bool {
+	return w.health != nil && w.health.failed[worldRank]
+}
+
+// AnyHealthFailure reports whether any tracked rank has been declared
+// dead — the fast path that keeps fault-free routing on the seed code
+// path.
+func (w *World) AnyHealthFailure() bool {
+	return w.health != nil && w.health.nfailed > 0
+}
+
+// healthTracked reports whether the rank is under heartbeat monitoring.
+func (w *World) healthTracked(worldRank int) bool {
+	if w.health == nil {
+		return false
+	}
+	_, ok := w.health.lastSeen[worldRank]
+	return ok
+}
+
+// beacon is the recurring per-rank heartbeat. A crashed rank stops
+// beating forever; a stalled one skips beats until the stall ends.
+func (h *healthState) beacon(id int) {
+	r := h.w.ranks[id]
+	if r.failed {
+		return
+	}
+	now := h.w.eng.Now()
+	if now >= r.stalledUntil {
+		h.lastSeen[id] = now
+	}
+	h.w.eng.AfterBG(h.interval, func() { h.beacon(id) })
+}
+
+// monitor is the recurring sweep declaring ranks dead after the grace
+// period. Tracked ranks are visited in registration order so detection
+// order is deterministic.
+func (h *healthState) monitor() {
+	now := h.w.eng.Now()
+	for _, id := range h.tracked {
+		if h.failed[id] {
+			continue
+		}
+		if now.Sub(h.lastSeen[id]) > h.grace {
+			h.markFailed(id)
+		}
+	}
+	h.w.eng.AfterBG(h.interval, h.monitor)
+}
+
+// markFailed records the detection and fires the death hooks
+// (retransmission failover and any layered recovery machinery).
+func (h *healthState) markFailed(id int) {
+	if h.failed[id] {
+		return
+	}
+	h.failed[id] = true
+	h.nfailed++
+	if t := h.w.tracer; t.Enabled() {
+		t.RecordFault(trace.Fault{Kind: "detect", Rank: id, Peer: -1, At: h.w.eng.Now()})
+	}
+	for _, fn := range h.w.deathHooks {
+		fn(id)
+	}
+}
+
+// killRank is the ground-truth crash of a world rank at the current
+// virtual time: its process never runs again, deferred AMs are
+// discarded, and open collectives are re-examined so survivors are not
+// held hostage by a corpse.
+func (w *World) killRank(id int) {
+	if id < 0 || id >= len(w.ranks) {
+		return
+	}
+	r := w.ranks[id]
+	if r.failed {
+		return
+	}
+	r.failed = true
+	w.failedCount++
+	if r.proc != nil {
+		w.eng.Kill(r.proc)
+	}
+	r.engine.pending = nil
+	if t := w.tracer; t.Enabled() {
+		t.RecordFault(trace.Fault{Kind: "crash", Rank: id, Peer: -1, At: w.eng.Now()})
+	}
+	for _, g := range w.comms {
+		g.reapFailed()
+	}
+}
+
+// stallRank freezes the rank's progress engine until now+d.
+func (w *World) stallRank(id int, d sim.Duration) {
+	if id < 0 || id >= len(w.ranks) {
+		return
+	}
+	r := w.ranks[id]
+	if r.failed {
+		return
+	}
+	until := w.eng.Now().Add(d)
+	if until > r.stalledUntil {
+		r.stalledUntil = until
+	}
+	if t := w.tracer; t.Enabled() {
+		t.RecordFault(trace.Fault{Kind: "stall", Rank: id, Peer: -1, At: w.eng.Now()})
+	}
+}
+
+// scheduleFaults arms the plan's crashes and stalls as background
+// events. Called by Launch.
+func (w *World) scheduleFaults() {
+	if w.inj == nil {
+		return
+	}
+	plan := w.inj.Plan()
+	for _, c := range plan.Crashes {
+		c := c
+		w.eng.AtBG(c.At, func() { w.killRank(c.Rank) })
+	}
+	for _, s := range plan.Stalls {
+		s := s
+		w.eng.AtBG(s.At, func() { w.stallRank(s.Rank, s.Duration) })
+	}
+}

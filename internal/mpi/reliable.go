@@ -1,0 +1,463 @@
+package mpi
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Reliable transport. When a world has a fault plan, every RMA request
+// and point-to-point message travels as a sequence-numbered packet on a
+// per-(window, origin, target) stream — the AM ordering unit MPI-3
+// §11.7.1 requires for same-origin accumulates. The receiver accepts
+// packets strictly in sequence order (holding out-of-order arrivals),
+// which, together with the per-op applied flag, makes delivery
+// exactly-once under drop, delay and duplication. Unacknowledged
+// packets are retransmitted on a timeout with exponential backoff;
+// when the failure detector declares a target dead, its streams fail
+// over to a replacement chosen by the window's reroute hook (Casper's
+// ghost rebinding) or surface MPI_ERR_PROC_FAILED.
+//
+// Two deliberate simplifications exploit that this is a simulation:
+//
+//   - The sender can see whether the injector dropped a transmission,
+//     so a timeout retransmits only genuinely lost packets; for live
+//     in-flight ones it just re-arms. This keeps a zero-rate plan
+//     bit-identical to no fault layer (no spurious retransmissions,
+//     no perturbed counters).
+//   - An op applied at a target that dies before its ack survives as
+//     op.result in shared memory, so failover can synthesize the
+//     completion. This is the durable operation journal a real
+//     implementation would have to replicate; the simulator gets it
+//     for free.
+//
+// All reliability housekeeping (timers, duplicate arrivals,
+// retransmissions, protocol acks) is scheduled as background events,
+// so it can never extend a run beyond what the application produced;
+// the first transmission and first RMA ack reuse the regular event
+// path of the fault-free runtime, at the exact times it would have
+// used.
+
+// Default retransmission parameters.
+const (
+	defaultRTOBase     = 100 * sim.Microsecond
+	defaultMaxAttempts = 25
+	maxBackoffShift    = 6
+)
+
+// streamKey identifies one ordered packet stream. win is nil for
+// point-to-point traffic; origin/target are world ranks.
+type streamKey struct {
+	win    *winGlobal
+	origin int
+	target int
+}
+
+// packet is one payload on a stream: exactly one of op, msg is set.
+type packet struct {
+	st  *stream
+	seq int64
+	op  *rmaOp
+	msg *inMsg
+
+	attempts  int
+	dataLost  bool // last data transmission dropped by the injector
+	ackLost   bool // last ack transmission dropped by the injector
+	delivered bool // p2p: accepted into the destination mailbox
+	acked     bool
+	abandoned bool
+}
+
+// wireBytes is the payload size charged for (re)transmission.
+func (pkt *packet) wireBytes() int {
+	if pkt.op != nil {
+		return pkt.op.wireOutBytes()
+	}
+	return len(pkt.msg.data)
+}
+
+// stream is the sender+receiver state of one streamKey (one simulated
+// address space holds both ends).
+type stream struct {
+	key      streamKey
+	nextSeq  int64
+	expected int64
+	held     map[int64]*packet // receiver: arrived out of order
+	unacked  map[int64]*packet // sender: transmitted, not acknowledged
+}
+
+// reliability is the world's reliable-transport state.
+type reliability struct {
+	w           *World
+	streams     map[streamKey]*stream
+	order       []*stream // creation order, for deterministic failover
+	rtoBase     sim.Duration
+	maxAttempts int
+}
+
+func newReliability(w *World) *reliability {
+	return &reliability{
+		w:           w,
+		streams:     map[streamKey]*stream{},
+		rtoBase:     defaultRTOBase,
+		maxAttempts: defaultMaxAttempts,
+	}
+}
+
+func (rel *reliability) stream(key streamKey) *stream {
+	st, ok := rel.streams[key]
+	if !ok {
+		st = &stream{key: key, held: map[int64]*packet{}, unacked: map[int64]*packet{}}
+		rel.streams[key] = st
+		rel.order = append(rel.order, st)
+	}
+	return st
+}
+
+// --- Send side --------------------------------------------------------
+
+// sendOp puts an RMA op on its stream. arrival is the FIFO-adjusted
+// arrival time Win.send computed — the first transmission lands exactly
+// when the fault-free runtime would deliver it.
+func (rel *reliability) sendOp(op *rmaOp, arrival sim.Time) {
+	g := op.win
+	key := streamKey{win: g, origin: g.comm.ranks[op.origin], target: g.comm.ranks[op.target]}
+	st := rel.stream(key)
+	pkt := &packet{st: st, seq: st.nextSeq, op: op}
+	st.nextSeq++
+	st.unacked[pkt.seq] = pkt
+	op.relPkt = pkt
+	rel.transmit(pkt, arrival, true)
+}
+
+// sendMsg puts a point-to-point message on its stream.
+func (rel *reliability) sendMsg(r *Rank, destWorld int, msg *inMsg, arrival sim.Time) {
+	st := rel.stream(streamKey{origin: r.id, target: destWorld})
+	pkt := &packet{st: st, seq: st.nextSeq, msg: msg}
+	st.nextSeq++
+	st.unacked[pkt.seq] = pkt
+	rel.transmit(pkt, arrival, true)
+}
+
+// transmit puts one packet on the wire, consulting the injector, and
+// arms the retransmission timer. first marks the initial transmission,
+// whose undisturbed delivery uses the regular event path for exact
+// parity with the fault-free runtime.
+func (rel *reliability) transmit(pkt *packet, arrival sim.Time, first bool) {
+	pkt.attempts++
+	pkt.dataLost = false
+	eng := rel.w.eng
+	dec := rel.w.inj.Transmission()
+	if dec.Drop {
+		pkt.dataLost = true
+	} else {
+		at := arrival.Add(dec.Extra)
+		if first && dec.Extra == 0 {
+			eng.At(at, func() { rel.receive(pkt) })
+		} else {
+			eng.AtBG(at, func() { rel.receive(pkt) })
+		}
+		if dec.Dup {
+			eng.AtBG(at.Add(1), func() { rel.receive(pkt) })
+		}
+	}
+	rel.armTimer(pkt)
+}
+
+func (rel *reliability) armTimer(pkt *packet) {
+	shift := pkt.attempts - 1
+	if shift > maxBackoffShift {
+		shift = maxBackoffShift
+	}
+	rel.w.eng.AfterBG(rel.rtoBase<<uint(shift), func() { rel.timeout(pkt) })
+}
+
+// timeout decides what to do about a still-unacknowledged packet.
+func (rel *reliability) timeout(pkt *packet) {
+	if pkt.acked || pkt.abandoned {
+		return
+	}
+	w := rel.w
+	st := pkt.st
+	dst := w.ranks[st.key.target]
+	origin := w.ranks[st.key.origin]
+	switch {
+	case w.HealthFailed(st.key.target) || (dst.failed && !w.healthTracked(st.key.target)):
+		// Peer declared dead (or, when untracked, known dead to the
+		// omniscient simulator): fail the whole stream over, in
+		// sequence order, so accumulate ordering survives the move.
+		origin.stats.RetryTimeouts++
+		rel.failoverStream(st)
+	case dst.failed:
+		// Dead but not yet detected: hold fire until the failure
+		// detector rules, rather than hammering a corpse.
+		rel.armTimer(pkt)
+	case pkt.dataLost || pkt.ackLost:
+		origin.stats.RetryTimeouts++
+		if pkt.attempts >= rel.maxAttempts {
+			rel.abandon(pkt, ErrMessageLost,
+				fmt.Sprintf("message to rank %d lost after %d attempts", st.key.target, pkt.attempts))
+			return
+		}
+		origin.stats.Retransmits++
+		pkt.ackLost = false
+		wire := origin.transferTo(st.key.target, pkt.wireBytes())
+		rel.transmit(pkt, w.eng.Now().Add(wire), false)
+	default:
+		// In flight or in service at a live target; await the ack.
+		rel.armTimer(pkt)
+	}
+}
+
+// --- Receive side -----------------------------------------------------
+
+// receive runs at the destination when a transmission arrives:
+// in-sequence packets dispatch (and release any held successors);
+// out-of-sequence ones are held; duplicates are suppressed, re-acking
+// completed exchanges whose ack was lost.
+func (rel *reliability) receive(pkt *packet) {
+	st := pkt.st
+	dst := rel.w.ranks[st.key.target]
+	if pkt.abandoned {
+		return
+	}
+	if dst.failed {
+		// Swallowed with the dead destination; sender-side timeout and
+		// health detection handle recovery.
+		return
+	}
+	if pkt.seq > st.expected {
+		if st.held[pkt.seq] == pkt {
+			// duplicate of a held packet
+			dst.stats.DupsSuppressed++
+			return
+		}
+		st.held[pkt.seq] = pkt
+		return
+	}
+	if pkt.seq < st.expected {
+		// Duplicate of an already-accepted packet: exactly-once.
+		dst.stats.DupsSuppressed++
+		rel.reAck(pkt)
+		return
+	}
+	st.expected++
+	rel.dispatch(pkt)
+	for {
+		next, ok := st.held[st.expected]
+		if !ok {
+			break
+		}
+		delete(st.held, st.expected)
+		st.expected++
+		rel.dispatch(next)
+	}
+}
+
+// dispatch hands an accepted packet to the destination runtime: the
+// mailbox for p2p, the NIC or the target progress engine for RMA.
+func (rel *reliability) dispatch(pkt *packet) {
+	w := rel.w
+	dst := w.ranks[pkt.st.key.target]
+	if pkt.msg != nil {
+		pkt.delivered = true
+		dst.mailbox.arrive(pkt.msg)
+		rel.sendP2PAck(pkt)
+		return
+	}
+	op := pkt.op
+	if op.applied {
+		// Already applied through a reroute; nothing to do (the
+		// rerouted copy acks).
+		return
+	}
+	if op.hardwareEligible() {
+		op.applyHardware(dst)
+		return
+	}
+	dst.engine.deliver(&delivery{op: op, arrived: w.eng.Now()})
+}
+
+// reAck re-sends the acknowledgment for a duplicate of a completed
+// exchange (the original ack was lost).
+func (rel *reliability) reAck(pkt *packet) {
+	if pkt.acked {
+		return
+	}
+	if pkt.op != nil && pkt.op.applied {
+		rel.sendAck(pkt, rel.ackWire(pkt), false)
+	} else if pkt.msg != nil && pkt.delivered {
+		rel.sendP2PAck(pkt)
+	}
+	// Otherwise the original is still queued for service and will ack
+	// when it completes.
+}
+
+// ackWire is the target->origin wire time of the packet's ack.
+func (rel *reliability) ackWire(pkt *packet) sim.Duration {
+	n := 16
+	if pkt.op != nil {
+		n = pkt.op.ackBytes()
+	}
+	return rel.w.ranks[pkt.st.key.target].transferTo(pkt.st.key.origin, n)
+}
+
+// sendAck carries an RMA completion back to the origin. first marks
+// the ack generated by the op's (first) apply, which uses the regular
+// event path at the exact time the fault-free runtime would.
+func (rel *reliability) sendAck(pkt *packet, wire sim.Duration, first bool) {
+	dec := rel.w.inj.Transmission()
+	if dec.Drop {
+		pkt.ackLost = true
+		return
+	}
+	eng := rel.w.eng
+	if first && dec.Extra == 0 {
+		eng.After(wire, func() { rel.deliverAck(pkt) })
+	} else {
+		eng.AfterBG(wire+dec.Extra, func() { rel.deliverAck(pkt) })
+	}
+	if dec.Dup {
+		eng.AfterBG(wire+dec.Extra+1, func() { rel.deliverAck(pkt) })
+	}
+}
+
+// sendP2PAck acknowledges a delivered p2p packet (protocol-internal;
+// the application-level eager send completed at issue).
+func (rel *reliability) sendP2PAck(pkt *packet) {
+	dec := rel.w.inj.Transmission()
+	if dec.Drop {
+		pkt.ackLost = true
+		return
+	}
+	wire := rel.ackWire(pkt)
+	rel.w.eng.AfterBG(wire+dec.Extra, func() { rel.deliverAck(pkt) })
+	if dec.Dup {
+		rel.w.eng.AfterBG(wire+dec.Extra+1, func() { rel.deliverAck(pkt) })
+	}
+}
+
+// deliverAck lands an ack at the origin: completes the op's
+// origin-side bookkeeping exactly once (duplicate acks are no-ops).
+func (rel *reliability) deliverAck(pkt *packet) {
+	if pkt.acked || pkt.abandoned {
+		return
+	}
+	pkt.acked = true
+	delete(pkt.st.unacked, pkt.seq)
+	if op := pkt.op; op != nil {
+		if op.dst != nil && op.result != nil {
+			copy(op.dst, op.result)
+		}
+		op.pending.Done()
+		if op.req != nil {
+			op.req.pending.Done()
+		}
+	}
+}
+
+// --- Failure handling -------------------------------------------------
+
+// onDeath is the death hook: fail over every stream aimed at the dead
+// rank, eagerly rerouting unacknowledged packets in sequence order.
+func (rel *reliability) onDeath(worldRank int) {
+	for _, st := range rel.order {
+		if st.key.target == worldRank {
+			rel.failoverStream(st)
+		}
+	}
+}
+
+func (rel *reliability) failoverStream(st *stream) {
+	if len(st.unacked) == 0 {
+		return
+	}
+	seqs := make([]int64, 0, len(st.unacked))
+	for s := range st.unacked {
+		seqs = append(seqs, s)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	for _, s := range seqs {
+		if pkt, ok := st.unacked[s]; ok {
+			rel.failoverPacket(pkt)
+		}
+	}
+}
+
+// failoverPacket recovers one unacknowledged packet whose target died.
+func (rel *reliability) failoverPacket(pkt *packet) {
+	if pkt.acked || pkt.abandoned {
+		return
+	}
+	w := rel.w
+	if pkt.msg != nil {
+		// P2p to a dead process is silently dropped (e.g. the shutdown
+		// fan-out Finalize sends to already-dead ghosts); never fatal.
+		pkt.abandoned = true
+		delete(pkt.st.unacked, pkt.seq)
+		w.p2pLost++
+		return
+	}
+	op := pkt.op
+	if op.applied {
+		// Applied before the target died; only the ack was lost.
+		// Synthesize completion from the captured result (see the
+		// journal note in the package comment).
+		rel.deliverAck(pkt)
+		return
+	}
+	g := op.win
+	if g.reroute == nil {
+		rel.abandon(pkt, ErrProcFailed,
+			fmt.Sprintf("target rank %d failed with no failover route", pkt.st.key.target))
+		return
+	}
+	newTarget, ok := g.reroute(op.origin, op.target, op.disp)
+	if !ok || g.comm.ranks[newTarget] == pkt.st.key.target {
+		rel.abandon(pkt, ErrProcFailed,
+			fmt.Sprintf("target rank %d failed with no surviving replacement", pkt.st.key.target))
+		return
+	}
+	origin := w.ranks[pkt.st.key.origin]
+	origin.stats.Reroutes++
+	if t := w.tracer; t.Enabled() {
+		t.RecordFault(trace.Fault{Kind: "reroute", Rank: pkt.st.key.target,
+			Peer: g.comm.ranks[newTarget], At: w.eng.Now()})
+	}
+	pkt.abandoned = true
+	delete(pkt.st.unacked, pkt.seq)
+	op.target = newTarget
+	ns := rel.stream(streamKey{win: g, origin: pkt.st.key.origin, target: g.comm.ranks[newTarget]})
+	npkt := &packet{st: ns, seq: ns.nextSeq, op: op}
+	ns.nextSeq++
+	ns.unacked[npkt.seq] = npkt
+	op.relPkt = npkt
+	wire := origin.transferTo(ns.key.target, op.wireOutBytes())
+	rel.transmit(npkt, w.eng.Now().Add(wire), false)
+}
+
+// abandon gives up on a packet: release the origin-side completion so
+// flushes do not hang, then surface the loss per the error mode
+// (panic under ErrorsAreFatal, a typed *MPIError under ErrorsReturn).
+func (rel *reliability) abandon(pkt *packet, class ErrClass, msg string) {
+	pkt.abandoned = true
+	delete(pkt.st.unacked, pkt.seq)
+	origin := rel.w.ranks[pkt.st.key.origin]
+	origin.stats.Abandoned++
+	if t := rel.w.tracer; t.Enabled() {
+		t.RecordFault(trace.Fault{Kind: "abandon", Rank: pkt.st.key.target,
+			Peer: pkt.st.key.origin, At: rel.w.eng.Now()})
+	}
+	if op := pkt.op; op != nil {
+		op.win.inflight.Done()
+		op.pending.Done()
+		if op.req != nil {
+			op.req.pending.Done()
+		}
+	} else {
+		rel.w.p2pLost++
+	}
+	origin.raise(class, "mpi: %s", msg)
+}

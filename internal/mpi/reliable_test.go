@@ -1,0 +1,286 @@
+package mpi
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/sim"
+)
+
+// reliabilityWorkload mixes the traffic classes the reliable transport
+// carries: RMA accumulates (exactly-once matters), a flush (acks
+// matter), p2p messages (in-order delivery matters) and collectives.
+// Every rank except 1 accumulates 20 ones into rank 1's window.
+func reliabilityWorkload(r *Rank) {
+	c := r.CommWorld()
+	win, buf := r.WinAllocate(c, 64, nil)
+	c.Barrier()
+	win.LockAll(AssertNone)
+	if r.Rank() != 1 {
+		for i := 0; i < 20; i++ {
+			win.Accumulate(PutFloat64s([]float64{1}), 1, 0, Scalar(Float64), OpSum)
+		}
+		win.FlushAll()
+	}
+	win.UnlockAll()
+	c.Barrier()
+	if r.Rank() == 0 {
+		c.Send(1, 9, []byte("ordered"))
+		c.Send(1, 9, []byte("delivery"))
+	} else if r.Rank() == 1 {
+		if d, _ := c.Recv(0, 9); string(d) != "ordered" {
+			panic("p2p message reordered: " + string(d))
+		}
+		if d, _ := c.Recv(0, 9); string(d) != "delivery" {
+			panic("p2p message reordered: " + string(d))
+		}
+	}
+	c.Barrier()
+	if r.Rank() == 1 {
+		if got := GetFloat64s(buf[:8])[0]; got != 60 {
+			panic("accumulate total wrong")
+		}
+	}
+}
+
+func faultWorkloadConfig(plan *fault.Plan) Config {
+	cfg := testConfig(4, 4)
+	cfg.Fault = plan
+	return cfg
+}
+
+// TestZeroRatePlanBitIdentical is the determinism regression: a world
+// with an all-zero-rate fault plan must be bit-identical — same end
+// time, same counters, all reliability counters zero — to a world with
+// no fault layer at all.
+func TestZeroRatePlanBitIdentical(t *testing.T) {
+	base := mustRun(t, faultWorkloadConfig(nil), reliabilityWorkload).Summary()
+	zero := mustRun(t, faultWorkloadConfig(&fault.Plan{Seed: 7}), reliabilityWorkload).Summary()
+	if base != zero {
+		t.Fatalf("zero-rate plan perturbed the world:\nbase: %v\nzero: %v", base, zero)
+	}
+	if zero.Retransmits|zero.FaultDrops|zero.DupsSuppressed|zero.Abandoned != 0 {
+		t.Fatalf("zero-rate plan shows reliability activity: %v", zero)
+	}
+}
+
+// TestDropsRecoveredExactlyOnce: under message drops the workload's
+// value checks (exact accumulate total, in-order p2p) must still pass —
+// retransmission with duplicate suppression gives exactly-once
+// application of every operation.
+func TestDropsRecoveredExactlyOnce(t *testing.T) {
+	plan := &fault.Plan{Seed: 11, DropRate: 0.15}
+	s := mustRun(t, faultWorkloadConfig(plan), reliabilityWorkload).Summary()
+	if s.FaultDrops == 0 {
+		t.Fatal("plan never dropped anything; rate too low for the traffic volume")
+	}
+	if s.Retransmits == 0 {
+		t.Fatal("drops happened but nothing was retransmitted")
+	}
+	if s.Abandoned != 0 {
+		t.Fatalf("%d operations abandoned under recoverable drops", s.Abandoned)
+	}
+}
+
+// TestDupsSuppressed: duplicated transmissions must be detected and
+// dropped at the receiver, keeping accumulates exactly-once.
+func TestDupsSuppressed(t *testing.T) {
+	plan := &fault.Plan{Seed: 5, DupRate: 0.3}
+	s := mustRun(t, faultWorkloadConfig(plan), reliabilityWorkload).Summary()
+	if s.FaultDups == 0 {
+		t.Fatal("plan never duplicated anything")
+	}
+	if s.DupsSuppressed == 0 {
+		t.Fatal("duplicates were injected but none suppressed")
+	}
+}
+
+// TestDelaysReordered: delayed transmissions may overtake each other on
+// the wire; sequence numbers must restore FIFO order per stream (the
+// workload's p2p ordering check and same-origin accumulate ordering).
+func TestDelaysReordered(t *testing.T) {
+	plan := &fault.Plan{Seed: 23, DelayRate: 0.5, DelayMax: 40 * sim.Microsecond}
+	s := mustRun(t, faultWorkloadConfig(plan), reliabilityWorkload).Summary()
+	if s.FaultDelays == 0 {
+		t.Fatal("plan never delayed anything")
+	}
+}
+
+// TestSameSeedSamePlanIdenticalRuns: the full faulty execution is
+// reproducible — same seed, same plan, bit-identical summary.
+func TestSameSeedSamePlanIdenticalRuns(t *testing.T) {
+	plan := fault.Plan{Seed: 13, DropRate: 0.1, DelayRate: 0.2, DupRate: 0.1}
+	p1, p2 := plan, plan
+	a := mustRun(t, faultWorkloadConfig(&p1), reliabilityWorkload).Summary()
+	b := mustRun(t, faultWorkloadConfig(&p2), reliabilityWorkload).Summary()
+	if a != b {
+		t.Fatalf("same seed+plan diverged:\na: %v\nb: %v", a, b)
+	}
+}
+
+// TestErrorsReturnRMARange: under MPI_ERRORS_RETURN an out-of-range RMA
+// op surfaces a typed error on the origin instead of panicking, and the
+// op becomes a no-op.
+func TestErrorsReturnRMARange(t *testing.T) {
+	cfg := testConfig(2, 2)
+	cfg.Errors = ErrorsReturn
+	mustRun(t, cfg, func(r *Rank) {
+		c := r.CommWorld()
+		win, buf := r.WinAllocate(c, 8, nil)
+		c.Barrier()
+		if r.Rank() == 0 {
+			win.LockAll(AssertNone)
+			win.Put(PutFloat64s([]float64{1}), 1, 64, Scalar(Float64)) // outside 8-byte window
+			err := r.Err()
+			if err == nil {
+				t.Error("no error recorded for out-of-range put")
+			} else if err.Class != ErrRMARange {
+				t.Errorf("class = %v, want MPI_ERR_RMA_RANGE", err.Class)
+			}
+			r.ClearErr()
+			if r.Err() != nil {
+				t.Error("ClearErr did not clear")
+			}
+			win.UnlockAll()
+		}
+		c.Barrier()
+		if r.Rank() == 1 && GetFloat64s(buf)[0] != 0 {
+			t.Error("erroneous put mutated target memory")
+		}
+		c.Barrier()
+	})
+}
+
+// TestErrorsReturnProcFailed: an RMA op whose target crashed — with no
+// failover route installed — surfaces MPI_ERR_PROC_FAILED on the origin
+// once the transport gives up, instead of hanging or panicking.
+func TestErrorsReturnProcFailed(t *testing.T) {
+	cfg := testConfig(2, 2)
+	cfg.Errors = ErrorsReturn
+	cfg.Fault = &fault.Plan{Seed: 3, Crashes: []fault.Crash{{Rank: 1, At: sim.Time(50 * sim.Microsecond)}}}
+	mustRun(t, cfg, func(r *Rank) {
+		c := r.CommWorld()
+		win, _ := r.WinAllocate(c, 8, nil)
+		c.Barrier()
+		if r.Rank() == 1 {
+			r.Compute(sim.Microseconds(10000)) // parked when the crash fires
+			return
+		}
+		r.Compute(sim.Microseconds(100)) // issue after the target is dead
+		win.LockAll(AssertNone)
+		win.Put(PutFloat64s([]float64{1}), 1, 0, Scalar(Float64))
+		win.FlushAll() // completes via abandonment, not a hang
+		win.UnlockAll()
+		err := r.Err()
+		if err == nil {
+			t.Error("no error for op to crashed target")
+		} else if err.Class != ErrProcFailed {
+			t.Errorf("class = %v, want MPI_ERR_PROC_FAILED", err.Class)
+		} else if !strings.Contains(err.Msg, "failed") {
+			t.Errorf("unhelpful message: %q", err.Msg)
+		}
+	})
+}
+
+// TestFatalModeStillPanics: the default error mode preserves the
+// historical panic behaviour with the exact message.
+func TestFatalModeStillPanics(t *testing.T) {
+	defer func() {
+		p := recover()
+		if p == nil {
+			t.Fatal("no panic in fatal mode")
+		}
+		if !strings.Contains(p.(string), "outside") {
+			t.Fatalf("wrong panic: %v", p)
+		}
+	}()
+	mustRun(t, testConfig(2, 2), func(r *Rank) {
+		win, _ := r.WinAllocate(r.CommWorld(), 8, nil)
+		if r.Rank() == 0 {
+			win.LockAll(AssertNone)
+			win.Put(PutFloat64s([]float64{1}), 1, 64, Scalar(Float64))
+		}
+	})
+}
+
+// TestCrashedPeerP2PSilent: point-to-point sends to a crashed rank are
+// silently dropped (counted, not fatal) — the shutdown fan-out of
+// layered runtimes must survive dead peers.
+func TestCrashedPeerP2PSilent(t *testing.T) {
+	cfg := testConfig(2, 2)
+	cfg.Fault = &fault.Plan{Seed: 3, Crashes: []fault.Crash{{Rank: 1, At: sim.Time(10 * sim.Microsecond)}}}
+	w := mustRun(t, cfg, func(r *Rank) {
+		c := r.CommWorld()
+		c.Barrier()
+		if r.Rank() == 1 {
+			r.Compute(sim.Microseconds(1000))
+			return
+		}
+		r.Compute(sim.Microseconds(500))
+		c.Send(1, 4, []byte("into the void"))
+		// Stay alive past the retransmission timeout so the transport
+		// gets to classify the loss.
+		r.Compute(sim.Microseconds(500))
+	})
+	if s := w.Summary(); s.P2PLost == 0 {
+		t.Fatalf("lost p2p send not counted: %v", s)
+	}
+}
+
+// TestStallDelaysService: a stalled rank services active messages only
+// after the stall ends, so an op issued into the stall completes late
+// but correctly.
+func TestStallDelaysService(t *testing.T) {
+	cfg := testConfig(2, 2)
+	cfg.Fault = &fault.Plan{Seed: 3, Stalls: []fault.Stall{
+		{Rank: 1, At: sim.Time(30 * sim.Microsecond), Duration: 300 * sim.Microsecond},
+	}}
+	var flushedAt sim.Time
+	mustRun(t, cfg, func(r *Rank) {
+		c := r.CommWorld()
+		win, buf := r.WinAllocate(c, 8, nil)
+		c.Barrier()
+		if r.Rank() == 0 {
+			r.Compute(sim.Microseconds(50)) // target now mid-stall
+			win.LockAll(AssertNone)
+			win.Accumulate(PutFloat64s([]float64{2}), 1, 0, Scalar(Float64), OpSum)
+			win.Flush(1)
+			flushedAt = r.Now()
+			win.UnlockAll()
+			c.Send(1, 8, nil) // release the target
+		} else {
+			// Parked inside MPI (like a ghost), so the runtime can
+			// service the accumulate — but only once the stall lifts.
+			c.Recv(0, 8)
+			if got := GetFloat64s(buf)[0]; got != 2 {
+				t.Errorf("accumulate during stall lost: %v", got)
+			}
+		}
+	})
+	if flushedAt < sim.Time(330*sim.Microsecond) {
+		t.Fatalf("flush completed at %v, inside the stall window", flushedAt)
+	}
+}
+
+// TestStragglerSlowsCompute: a straggler node's Compute calls take
+// longer in virtual time.
+func TestStragglerSlowsCompute(t *testing.T) {
+	cfg := testConfig(2, 1) // two nodes, one rank each
+	cfg.Fault = &fault.Plan{Seed: 3, Stragglers: map[int]float64{1: 4}}
+	var t0, t1 sim.Time
+	mustRun(t, cfg, func(r *Rank) {
+		r.Compute(sim.Microseconds(100))
+		if r.Rank() == 0 {
+			t0 = r.Now()
+		} else {
+			t1 = r.Now()
+		}
+	})
+	if t0 != sim.Time(100*sim.Microsecond) {
+		t.Fatalf("normal node time %v", t0)
+	}
+	if t1 != sim.Time(400*sim.Microsecond) {
+		t.Fatalf("straggler time %v, want 4x slowdown", t1)
+	}
+}

@@ -71,6 +71,10 @@ type rmaOp struct {
 	pending *sim.CompletionSet // origin-side ack tracking (flush)
 	req     *RMARequest        // request-based op handle (Rput/Rget), or nil
 
+	// Reliability bookkeeping (fault plans only).
+	applied bool    // took effect at a target exactly once
+	relPkt  *packet // current packet carrying the op
+
 	// Service bookkeeping for the validator.
 	svcStart, svcEnd sim.Time
 	svcOwner         int // world rank of the servicing engine; -1 for NIC
@@ -163,8 +167,9 @@ func (w *Win) issue(op *rmaOp) {
 		// target resolves the address at apply time.
 		reg := w.g.regions[op.target]
 		if op.disp < 0 || op.disp+op.dt.Extent() > reg.n {
-			panic(fmt.Sprintf("mpi: %v at disp %d extent %d outside %d-byte window of target %d",
-				op.kind, op.disp, op.dt.Extent(), reg.n, op.target))
+			r.raise(ErrRMARange, "mpi: %v at disp %d extent %d outside %d-byte window of target %d",
+				op.kind, op.disp, op.dt.Extent(), reg.n, op.target)
+			return // ErrorsReturn: drop the op before any accounting
 		}
 	}
 
@@ -253,6 +258,10 @@ func (w *Win) send(op *rmaOp) {
 		arrival = ts.lastArrival + 1
 	}
 	ts.lastArrival = arrival
+	if rel := r.w.rel; rel != nil {
+		rel.sendOp(op, arrival)
+		return
+	}
 	if op.hardwareEligible() {
 		eng.At(arrival, func() { op.applyHardware(tr) })
 		return
@@ -265,18 +274,27 @@ func (w *Win) send(op *rmaOp) {
 // --- Apply path (target side) ----------------------------------------
 
 // targetRegion resolves the op's destination memory: the static region
-// for normal windows, the containing attachment for dynamic ones.
-func (o *rmaOp) targetRegion() (Region, int) {
+// for normal windows, the containing attachment for dynamic ones. ok is
+// false when a dynamic resolution failed under ErrorsReturn (the error
+// was already raised on the target rank).
+func (o *rmaOp) targetRegion() (Region, int, bool) {
 	if o.win.dynamic {
 		return o.win.resolveDynamic(o.target, o.disp, o.dt.Extent())
 	}
-	return o.win.regions[o.target], o.disp
+	return o.win.regions[o.target], o.disp, true
 }
 
 // apply mutates the target memory. Runs in engine context at the moment
-// the op takes effect.
-func (o *rmaOp) apply() {
-	reg, disp := o.targetRegion()
+// the op takes effect. It reports whether the op resolved and took
+// effect; on false (dynamic resolution failure under ErrorsReturn) the
+// op is a no-op but must still be acknowledged so the origin does not
+// hang.
+func (o *rmaOp) apply() bool {
+	reg, disp, ok := o.targetRegion()
+	o.applied = true
+	if !ok {
+		return false
+	}
 	mem := reg.seg.data
 	base := reg.off + disp
 	switch o.kind {
@@ -307,6 +325,7 @@ func (o *rmaOp) apply() {
 		p.applied[o.target][o.origin]++
 		p.sig.Broadcast()
 	}
+	return true
 }
 
 func bytesEqual(a, b []byte) bool {
@@ -326,9 +345,19 @@ func bytesEqual(a, b []byte) bool {
 // result data) back to the origin. The op's service interval and owner
 // were recorded by the engine at submission.
 func (o *rmaOp) applyAndAck() {
-	o.apply()
-	if v := o.win.w.validator; v != nil {
-		reg, disp := o.targetRegion()
+	if o.applied {
+		// Duplicate service (a retransmission raced the original
+		// through a second delivery): exactly-once semantics.
+		return
+	}
+	if o.svcOwner >= 0 && o.win.w.ranks[o.svcOwner].failed {
+		// The servicing rank died between queuing and service; the op
+		// is recovered through stream failover instead.
+		return
+	}
+	ok := o.apply()
+	if v := o.win.w.validator; v != nil && ok {
+		reg, disp, _ := o.targetRegion()
 		v.recordApply(o, reg, disp, o.svcOwner)
 	}
 	o.win.inflight.Done()
@@ -337,13 +366,16 @@ func (o *rmaOp) applyAndAck() {
 
 // applyHardware is the NIC path: apply at arrival with no target CPU.
 func (o *rmaOp) applyHardware(tr *Rank) {
+	if o.applied {
+		return
+	}
 	now := o.win.w.eng.Now()
 	o.svcStart, o.svcEnd, o.svcOwner = now, now, -1
-	o.apply()
+	ok := o.apply()
 	tr.stats.HardwareOps++
 	tr.stats.BytesIn += int64(o.bytes())
-	if v := o.win.w.validator; v != nil {
-		reg, disp := o.targetRegion()
+	if v := o.win.w.validator; v != nil && ok {
+		reg, disp, _ := o.targetRegion()
 		v.recordApply(o, reg, disp, -1)
 	}
 	if t := o.win.w.tracer; t.Enabled() {
@@ -364,6 +396,10 @@ func (o *rmaOp) ack() {
 	p := g.w.place
 	wire := g.w.net.Transfer(p.SameNode(targetWorld, originWorld),
 		p.SameNUMA(targetWorld, originWorld), o.ackBytes())
+	if rel := g.w.rel; rel != nil {
+		rel.sendAck(o.relPkt, wire, true)
+		return
+	}
 	pending := o.pending
 	g.w.eng.After(wire, func() {
 		if o.dst != nil && o.result != nil {

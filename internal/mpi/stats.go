@@ -19,6 +19,21 @@ type WorldSummary struct {
 	BytesIn      int64
 	StolenTime   sim.Duration
 	EndTime      sim.Time
+
+	// Fault/reliability aggregates. All exactly zero for a world
+	// without a fault plan AND for a world with an all-zero-rate plan
+	// and no crashes — the determinism tests compare summaries across
+	// those configurations with ==.
+	FaultDrops     int64
+	FaultDelays    int64
+	FaultDups      int64
+	Retransmits    int64
+	RetryTimeouts  int64
+	DupsSuppressed int64
+	Reroutes       int64
+	Abandoned      int64
+	RanksFailed    int
+	P2PLost        int64
 }
 
 // Summary aggregates the counters of every rank.
@@ -33,16 +48,38 @@ func (w *World) Summary() WorldSummary {
 		s.OpsIssued += st.OpsIssued
 		s.BytesIn += st.BytesIn
 		s.StolenTime += st.StolenTime
+		s.Retransmits += st.Retransmits
+		s.RetryTimeouts += st.RetryTimeouts
+		s.DupsSuppressed += st.DupsSuppressed
+		s.Reroutes += st.Reroutes
+		s.Abandoned += st.Abandoned
 	}
+	if w.inj != nil {
+		fs := w.inj.Stats()
+		s.FaultDrops = fs.Drops
+		s.FaultDelays = fs.Delays
+		s.FaultDups = fs.Dups
+	}
+	s.RanksFailed = w.failedCount
+	s.P2PLost = w.p2pLost
 	return s
 }
 
 // String implements fmt.Stringer.
 func (s WorldSummary) String() string {
-	return fmt.Sprintf(
+	out := fmt.Sprintf(
 		"ranks=%d end=%v rma_issued=%d software_ams=%d hardware_ops=%d interrupts=%d stolen=%v p2p_msgs=%d bytes_in=%d",
 		s.Ranks, s.EndTime, s.OpsIssued, s.SoftwareAMs, s.HardwareOps,
 		s.Interrupts, s.StolenTime, s.MessagesSent, s.BytesIn)
+	// Fault-free worlds print exactly the historical summary line.
+	if s.FaultDrops|s.FaultDelays|s.FaultDups|s.Retransmits|s.RetryTimeouts|
+		s.DupsSuppressed|s.Reroutes|s.Abandoned|s.P2PLost != 0 || s.RanksFailed != 0 {
+		out += fmt.Sprintf(
+			" faults[drop=%d delay=%d dup=%d] retrans=%d timeouts=%d dups_supp=%d reroutes=%d abandoned=%d failed=%d p2p_lost=%d",
+			s.FaultDrops, s.FaultDelays, s.FaultDups, s.Retransmits, s.RetryTimeouts,
+			s.DupsSuppressed, s.Reroutes, s.Abandoned, s.RanksFailed, s.P2PLost)
+	}
+	return out
 }
 
 // BusiestRank returns the world rank that serviced the most software

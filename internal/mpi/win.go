@@ -29,6 +29,13 @@ type winGlobal struct {
 	dynamic  bool
 	attached [][]attachment // per comm rank: attached regions by base
 	nextBase []int          // per comm rank: next base address
+
+	// reroute, when set, lets stream failover redirect an op whose
+	// target crashed: given the comm ranks of origin and the dead
+	// target plus the op's displacement, it returns a surviving comm
+	// rank exposing the same memory (Casper's same-node ghosts) or
+	// ok=false when no replacement exists.
+	reroute func(origin, oldTarget, disp int) (newTarget int, ok bool)
 }
 
 type pscwGlobal struct {
@@ -131,6 +138,12 @@ func (w *Win) Comm() *Comm { return w.c }
 // Info returns the info hints the window was created with.
 func (w *Win) Info() Info { return w.g.info }
 
+// SetReroute installs the window's failover hook (see winGlobal.reroute).
+// The hook is window-global; any handle may install it.
+func (w *Win) SetReroute(fn func(origin, oldTarget, disp int) (int, bool)) {
+	w.g.reroute = fn
+}
+
 // newWin builds the per-rank handle.
 func newWin(g *winGlobal, r *Rank) *Win {
 	me, ok := g.comm.index[r.id]
@@ -155,7 +168,9 @@ func (r *Rank) winCollective(c *Comm, reg Region, info Info, cost sim.Duration) 
 		c.g.w.winSeq++
 		g.id = c.g.w.winSeq
 		for i, v := range vals {
-			g.regions[i] = v.(Region)
+			if reg, ok := v.(Region); ok { // crashed member exposes nothing
+				g.regions[i] = reg
+			}
 		}
 		return g
 	})

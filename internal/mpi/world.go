@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/cluster"
+	"repro/internal/fault"
 	"repro/internal/netmodel"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -56,6 +57,21 @@ type Config struct {
 	ThreadOversubscribed bool // ProgressThread: thread shares the rank's core (Thread(O)) rather than a dedicated one (Thread(D))
 
 	Validate bool // enable the correctness validator (atomicity/ordering/lock checks)
+
+	// Fault, when non-nil, enables the fault-injection layer: messages
+	// travel over the reliable transport of reliable.go, the plan's
+	// crashes/stalls/stragglers are armed, and health monitoring becomes
+	// available. A nil plan leaves the seed code paths untouched.
+	Fault *fault.Plan
+	// Errors selects the error-handler model; the zero value,
+	// ErrorsAreFatal, panics exactly as the runtime always has.
+	Errors ErrorMode
+	// WatchdogEvents / WatchdogTime bound a run (see sim.SetWatchdog).
+	// Zero means default: unlimited normally, a generous event limit
+	// when a fault plan is configured (so a retransmission livelock
+	// fails fast instead of spinning).
+	WatchdogEvents int64
+	WatchdogTime   sim.Time
 }
 
 // World is one simulated MPI job: an engine, a placement, and N ranks.
@@ -72,6 +88,16 @@ type World struct {
 	validator  *Validator
 	tracer     *trace.Tracer
 	groupComms map[string][]*commGlobal // CommFromGroup instances by rank set
+
+	comms []*commGlobal // every live comm, for failure reaping
+
+	// Fault-injection state; all nil/zero without a Config.Fault plan.
+	inj         *fault.Injector
+	rel         *reliability
+	health      *healthState
+	deathHooks  []func(worldRank int) // fire on health-failure detection
+	failedCount int
+	p2pLost     int64 // p2p messages abandoned at dead destinations
 }
 
 // NewWorld builds a world; ranks exist but are not running until Launch.
@@ -94,6 +120,22 @@ func NewWorld(cfg Config) (*World, error) {
 	}
 	if cfg.Validate {
 		w.validator = newValidator()
+	}
+	if cfg.Fault != nil {
+		inj, err := fault.NewInjector(cfg.Fault)
+		if err != nil {
+			return nil, err
+		}
+		w.inj = inj
+		w.rel = newReliability(w)
+		w.deathHooks = append(w.deathHooks, w.rel.onDeath)
+	}
+	maxEvents := cfg.WatchdogEvents
+	if maxEvents == 0 && cfg.Fault != nil {
+		maxEvents = 250_000_000
+	}
+	if maxEvents != 0 || cfg.WatchdogTime != 0 {
+		w.eng.SetWatchdog(maxEvents, cfg.WatchdogTime)
 	}
 	w.ranks = make([]*Rank, cfg.N)
 	for i := range w.ranks {
@@ -133,16 +175,27 @@ func (w *World) Tracer() *trace.Tracer { return w.tracer }
 // tests and harnesses; application code receives its Rank from Launch).
 func (w *World) RankByID(i int) *Rank { return w.ranks[i] }
 
-// Launch spawns every rank running main and schedules them at time 0.
+// Launch spawns every rank running main and schedules them at time 0,
+// then arms any configured fault plan.
 func (w *World) Launch(main func(r *Rank)) {
 	for _, r := range w.ranks {
 		r := r
-		w.eng.Spawn(fmt.Sprintf("rank%d", r.id), func(p *sim.Proc) {
-			r.proc = p
+		r.proc = w.eng.Spawn(fmt.Sprintf("rank%d", r.id), func(p *sim.Proc) {
 			main(r)
 		})
 	}
+	w.scheduleFaults()
 }
+
+// FaultsEnabled reports whether the world carries a fault-injection
+// layer (Config.Fault was set).
+func (w *World) FaultsEnabled() bool { return w.inj != nil }
+
+// Failed reports this rank's ground-truth crash state.
+func (r *Rank) Failed() bool { return r.failed }
+
+// FailedCount returns the number of ranks that have crashed.
+func (w *World) FailedCount() int { return w.failedCount }
 
 // Run executes the simulation to completion.
 func (w *World) Run() error { return w.eng.Run() }
@@ -224,6 +277,12 @@ type Rank struct {
 	groupUses map[string]int   // per-rank CommFromGroup call counts
 	p2pLast   map[int]sim.Time // per-destination FIFO delivery horizon
 
+	failed       bool     // ground-truth crash (see health.go)
+	stalledUntil sim.Time // progress engine frozen until this time
+
+	lastErr  *MPIError // first unconsumed error under ErrorsReturn
+	errCount int64
+
 	stats RankStats
 }
 
@@ -237,6 +296,13 @@ type RankStats struct {
 	BytesIn      int64        // RMA payload bytes received
 	OpsIssued    int64        // RMA ops issued from this rank
 	MessagesSent int64        // point-to-point messages sent
+
+	// Reliability counters (all zero without a fault plan).
+	Retransmits    int64 // packets retransmitted after a loss
+	RetryTimeouts  int64 // retransmission timeouts that took action
+	DupsSuppressed int64 // duplicate packets discarded at this rank
+	Reroutes       int64 // ops failed over to a replacement target
+	Abandoned      int64 // ops given up on (error surfaced)
 }
 
 func newRank(w *World, id int) *Rank {
@@ -277,6 +343,11 @@ func (r *Rank) Compute(d sim.Duration) {
 	if r.w.cfg.Progress == ProgressThread && r.w.cfg.ThreadOversubscribed &&
 		r.w.net.OversubCompute > 1 {
 		d = sim.Duration(float64(d) * r.w.net.OversubCompute)
+	}
+	if r.w.inj != nil {
+		if f := r.w.inj.ComputeFactor(r.w.place.Node(r.id)); f != 1 {
+			d = sim.Duration(float64(d) * f)
+		}
 	}
 	mark := r.engine.stolen
 	r.proc.Advance(d)

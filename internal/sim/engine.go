@@ -64,11 +64,16 @@ func (t Time) Sub(u Time) Duration { return Duration(t - u) }
 func Microseconds(us float64) Duration { return Duration(us * 1e3) }
 
 // event is a scheduled callback. Events at equal times fire in scheduling
-// order (seq) so runs are deterministic.
+// order (seq) so runs are deterministic. Background events (bg) are
+// housekeeping — heartbeats, retransmission timers, fault schedules —
+// that must not keep the simulation alive: once every process has
+// terminated they are discarded without executing or advancing the
+// clock, so enabling such machinery never changes a run's end time.
 type event struct {
 	at  Time
 	seq uint64
 	fn  func()
+	bg  bool
 }
 
 type eventHeap []event
@@ -101,6 +106,10 @@ type Engine struct {
 	procs  []*Proc
 	live   int
 	rng    *rand.Rand
+
+	executed  int64 // events executed, for the watchdog
+	maxEvents int64 // watchdog: 0 disables
+	maxTime   Time  // watchdog: 0 disables
 
 	panicked bool
 	panicVal interface{}
@@ -135,6 +144,46 @@ func (e *Engine) At(t Time, fn func()) {
 // After schedules fn to run d from now.
 func (e *Engine) After(d Duration, fn func()) { e.At(e.now.Add(d), fn) }
 
+// AtBG schedules a background event at t: it runs like a normal event
+// while any process is alive, but is silently discarded once all
+// processes have terminated, so it can never extend a run.
+func (e *Engine) AtBG(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn, bg: true})
+}
+
+// AfterBG is AtBG relative to now.
+func (e *Engine) AfterBG(d Duration, fn func()) { e.AtBG(e.now.Add(d), fn) }
+
+// SetWatchdog arms limits on total events executed and on virtual time
+// reached; Run fails with a *WatchdogError when either is exceeded.
+// Zero disables the corresponding limit. This turns a runaway loop
+// (e.g. an endless retransmission cycle) into a fast, diagnosable
+// failure instead of a spin.
+func (e *Engine) SetWatchdog(maxEvents int64, maxTime Time) {
+	e.maxEvents = maxEvents
+	e.maxTime = maxTime
+}
+
+// EventsExecuted returns the number of events Run has executed so far.
+func (e *Engine) EventsExecuted() int64 { return e.executed }
+
+// Kill terminates a process from engine context without resuming it:
+// the process is removed from the live count and every future attempt
+// to wake or resume it becomes a no-op. Its goroutine stays parked for
+// the remainder of the program — the simulation analogue of a process
+// that died with state intact. Killing a finished process is a no-op.
+func (e *Engine) Kill(p *Proc) {
+	if p.state == stateDone || p.killed {
+		return
+	}
+	p.killed = true
+	e.live--
+}
+
 // Spawn creates a new process named name running fn and schedules it to
 // start at the current virtual time. The returned Proc may be used as a
 // wake target before it has started.
@@ -167,7 +216,7 @@ func (e *Engine) SpawnAt(t Time, name string, fn func(p *Proc)) *Proc {
 		fn(p)
 	}()
 	e.At(t, func() {
-		if p.state == stateNew {
+		if p.state == stateNew && !p.killed {
 			p.state = stateRunning
 			e.transfer(p)
 		}
@@ -180,6 +229,9 @@ func (e *Engine) SpawnAt(t Time, name string, fn func(p *Proc)) *Proc {
 // A panic inside the process is re-raised here, in the engine's
 // goroutine, so it propagates out of Run to the harness or test.
 func (e *Engine) transfer(p *Proc) {
+	if p.killed {
+		return
+	}
 	p.resume <- struct{}{}
 	<-e.yield
 	if e.panicked {
@@ -199,22 +251,64 @@ func (d *DeadlockError) Error() string {
 		d.Time, len(d.Stuck), strings.Join(d.Stuck, "; "))
 }
 
+// WatchdogError reports that Run exceeded a SetWatchdog limit — the
+// simulation was still generating events but not converging (e.g. an
+// endless retransmission loop). It carries the same stuck-process
+// diagnostics as a deadlock, plus the event count.
+type WatchdogError struct {
+	Time   Time
+	Events int64
+	Limit  string   // which limit tripped, human-readable
+	Stuck  []string // "name: reason" for each parked process
+}
+
+func (w *WatchdogError) Error() string {
+	return fmt.Sprintf("sim: watchdog tripped (%s) at %v after %d events; %d stuck: %s",
+		w.Limit, w.Time, w.Events, len(w.Stuck), strings.Join(w.Stuck, "; "))
+}
+
+// stuckProcs lists parked and never-started processes (excluding killed
+// ones, which are dead rather than stuck).
+func (e *Engine) stuckProcs() []string {
+	var out []string
+	for _, p := range e.procs {
+		if p.killed {
+			continue
+		}
+		if p.state == stateParked || p.state == stateNew {
+			out = append(out, p.name+": "+p.parkReason)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
 // Run executes events until none remain. It returns a *DeadlockError if
-// processes remain parked with no pending events, and nil otherwise.
+// processes remain parked with no pending events, a *WatchdogError if a
+// SetWatchdog limit is exceeded, and nil otherwise.
 func (e *Engine) Run() error {
 	for e.events.Len() > 0 {
 		ev := heap.Pop(&e.events).(event)
+		if ev.bg && e.live <= 0 {
+			// Background housekeeping after the last process finished:
+			// discard without running or advancing the clock, so the
+			// end time is exactly what the processes produced.
+			continue
+		}
 		e.now = ev.at
+		e.executed++
 		ev.fn()
+		if e.maxEvents > 0 && e.executed >= e.maxEvents {
+			return &WatchdogError{Time: e.now, Events: e.executed,
+				Limit: fmt.Sprintf("event limit %d", e.maxEvents), Stuck: e.stuckProcs()}
+		}
+		if e.maxTime > 0 && e.now > e.maxTime {
+			return &WatchdogError{Time: e.now, Events: e.executed,
+				Limit: fmt.Sprintf("virtual-time limit %v", e.maxTime), Stuck: e.stuckProcs()}
+		}
 	}
 	if e.live > 0 {
-		d := &DeadlockError{Time: e.now}
-		for _, p := range e.procs {
-			if p.state == stateParked || p.state == stateNew {
-				d.Stuck = append(d.Stuck, p.name+": "+p.parkReason)
-			}
-		}
-		sort.Strings(d.Stuck)
+		d := &DeadlockError{Time: e.now, Stuck: e.stuckProcs()}
 		return d
 	}
 	return nil

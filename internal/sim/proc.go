@@ -21,6 +21,7 @@ type Proc struct {
 	resume     chan struct{}
 	state      procState
 	parkReason string
+	killed     bool // Engine.Kill called: never resume again
 }
 
 // Engine returns the engine this process belongs to.
@@ -78,12 +79,18 @@ func (p *Proc) park(reason string) {
 func (p *Proc) wake() {
 	e := p.eng
 	e.At(e.now, func() {
+		if p.killed {
+			return
+		}
 		if p.state != stateParked {
 			panic(fmt.Sprintf("sim: waking %s which is not parked", p.name))
 		}
 		e.transfer(p)
 	})
 }
+
+// Killed reports whether Engine.Kill has terminated this process.
+func (p *Proc) Killed() bool { return p.killed }
 
 // Signal is a broadcast condition variable in virtual time. Processes
 // Wait on it after observing an unsatisfied predicate; any simulation

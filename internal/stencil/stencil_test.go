@@ -6,8 +6,10 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/mpi"
 	"repro/internal/netmodel"
+	"repro/internal/sim"
 )
 
 func stencilConfig(n, ppn int) mpi.Config {
@@ -135,6 +137,82 @@ func TestHeatFlowsDownward(t *testing.T) {
 	}
 	if got[4] <= 0 {
 		t.Fatal("no heat diffused into the interior")
+	}
+}
+
+// crashRun runs the stencil over Casper with g ghosts per node on two
+// nodes, optionally crashing a ghost mid-run, and returns the assembled
+// interior plus recovery counters.
+func crashRun(t *testing.T, users, g int, p Params, plan *fault.Plan) ([]float64, mpi.WorldSummary, int64) {
+	t.Helper()
+	ppn := users/2 + g
+	cfg := stencilConfig(2*ppn, ppn)
+	cfg.Validate = false // the validator models a fault-free world
+	cfg.Fault = plan
+	interior := make([][]float64, users)
+	var degraded int64
+	w, err := mpi.Run(cfg, func(r *mpi.Rank) {
+		cp, ghost := core.Init(r, core.Config{NumGhosts: g})
+		if ghost {
+			return
+		}
+		res := Run(cp, p)
+		interior[cp.Rank()] = res.Local
+		cp.Finalize()
+		degraded += cp.Stats().Degraded
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all []float64
+	for _, part := range interior {
+		all = append(all, part...)
+	}
+	return all, w.Summary(), degraded
+}
+
+// TestGhostCrashRecoversExactly kills a ghost mid-stencil and checks the
+// computed grid is bit-identical to the fault-free run: with surviving
+// ghosts on the node the bound targets fail over to them, and with g=1
+// the node degrades to Original-mode target-side progress.
+func TestGhostCrashRecoversExactly(t *testing.T) {
+	p := Params{N: 18, Iterations: 30}
+	const users = 4
+	for _, g := range []int{1, 2} {
+		ppn := users/2 + g
+		n := 2 * ppn
+		base, baseSum, _ := crashRun(t, users, g, p, nil)
+		ghosts, err := core.GhostRanks(cluster.Machine{Nodes: 2, CoresPerNode: 24, NUMAPerNode: 2}, n, ppn, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Last ghost of node 1: never the sequencer (lowest ghost rank,
+		// which lives on node 0).
+		victim := ghosts[1][len(ghosts[1])-1]
+		plan := &fault.Plan{Seed: 9, Crashes: []fault.Crash{
+			{Rank: victim, At: sim.Time(0.4 * float64(baseSum.EndTime))},
+		}}
+		got, sum, degraded := crashRun(t, users, g, p, plan)
+		if len(got) != len(base) {
+			t.Fatalf("g=%d: %d cells, want %d", g, len(got), len(base))
+		}
+		for i := range base {
+			if got[i] != base[i] {
+				t.Fatalf("g=%d: cell %d = %v, want %v (not bit-identical after crash)", g, i, got[i], base[i])
+			}
+		}
+		if sum.RanksFailed != 1 {
+			t.Fatalf("g=%d: RanksFailed = %d, want 1", g, sum.RanksFailed)
+		}
+		if sum.Reroutes == 0 {
+			t.Fatalf("g=%d: crash recovered without any reroutes", g)
+		}
+		if g == 1 && degraded == 0 {
+			t.Fatal("g=1: node lost its only ghost but never degraded to target-side progress")
+		}
+		if g > 1 && degraded != 0 {
+			t.Fatalf("g=%d: degraded %d ops despite surviving ghosts", g, degraded)
+		}
 	}
 }
 

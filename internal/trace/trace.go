@@ -37,6 +37,7 @@ func (s Service) Delay() sim.Duration { return s.Start.Sub(s.Arrived) }
 type Tracer struct {
 	enabled  bool
 	services []Service
+	faults   []Fault
 }
 
 // New returns an enabled tracer.
@@ -59,6 +60,31 @@ func (t *Tracer) Services() []Service {
 		return nil
 	}
 	return t.services
+}
+
+// Fault is one fault-related event: an injected crash or stall, a
+// failure detection, a rerouted operation, or an abandoned one.
+type Fault struct {
+	Kind string // "crash", "stall", "detect", "reroute", "abandon"
+	Rank int    // world rank the event concerns
+	Peer int    // counterpart world rank, or -1 when not applicable
+	At   sim.Time
+}
+
+// RecordFault appends one fault record. Safe to call on a nil tracer.
+func (t *Tracer) RecordFault(f Fault) {
+	if !t.Enabled() {
+		return
+	}
+	t.faults = append(t.faults, f)
+}
+
+// Faults returns all fault records in event order.
+func (t *Tracer) Faults() []Fault {
+	if t == nil {
+		return nil
+	}
+	return t.faults
 }
 
 // Profile aggregates records per servicing rank.
