@@ -24,8 +24,12 @@ func main() {
 		csv   = flag.Bool("csv", false, "emit CSV instead of an aligned table")
 		scale = flag.Float64("scale", 1.0, "sweep scale factor (smaller = faster)")
 		seed  = flag.Int64("seed", 42, "simulation seed")
+		quick = flag.Bool("quick", false, "CI smoke mode: shorthand for -scale 0.12")
 	)
 	flag.Parse()
+	if *quick {
+		*scale = 0.12
+	}
 
 	switch {
 	case *list:

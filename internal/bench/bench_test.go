@@ -47,7 +47,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig5a", "fig5b", "fig5c",
 		"fig6a", "fig6b", "fig6c",
 		"fig7a", "fig7b", "fig7c",
-		"fig8a", "fig8b", "fig8c", "tab1",
+		"fig8a", "fig8b", "fig8c", "overload", "tab1",
 	}
 	all := All()
 	if len(all) != len(want) {

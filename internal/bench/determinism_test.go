@@ -1,0 +1,36 @@
+package bench
+
+import "testing"
+
+// The simulator's whole value rests on determinism: the same options
+// must reproduce the same virtual-time results bit for bit, or every
+// golden comparison and regression diff in the repo is meaningless.
+// These tests run an experiment twice in one process and require the
+// rendered outputs to be identical — any stray map iteration, shared
+// mutable state between runs, or wall-clock leak shows up here.
+
+func assertDeterministic(t *testing.T, id string) {
+	t.Helper()
+	a := runExp(t, id, tiny())
+	b := runExp(t, id, tiny())
+	if a.CSV() != b.CSV() {
+		t.Fatalf("%s: CSV differs between identical runs:\n--- first\n%s\n--- second\n%s",
+			id, a.CSV(), b.CSV())
+	}
+	if a.Table() != b.Table() {
+		t.Fatalf("%s: table differs between identical runs:\n--- first\n%s\n--- second\n%s",
+			id, a.Table(), b.Table())
+	}
+}
+
+func TestStencilDeterministic(t *testing.T) {
+	assertDeterministic(t, "fig5a")
+}
+
+// The overload experiment exercises every new layer at once — credit
+// flow control, the rebalancer's sweeps and handover drains, and the
+// watchdog arming — so a nondeterministic instant anywhere in that
+// stack diverges the second run.
+func TestOverloadDeterministic(t *testing.T) {
+	assertDeterministic(t, "overload")
+}

@@ -159,6 +159,50 @@ type Config struct {
 	// single window. Demonstrates the nested-lock error and the
 	// serialization the overlapping windows avoid. Tests/ablation only.
 	UnsafeSharedLockWindow bool
+
+	// Overload, when non-nil, enables the load-aware rebalancer: a
+	// periodic sweep watches every ghost's AM queue depth and service
+	// EWMA, migrates rank bindings from overloaded to underloaded
+	// ghosts at quiescent points, and degrades a node to original-mode
+	// target-side progress when all its ghosts are saturated. The
+	// paper defers this to future work (Section III-B-3 handles only
+	// origin-side counting); nil leaves routing exactly static.
+	Overload *OverloadConfig
+}
+
+// OverloadConfig tunes the load-aware rebalancer (see Config.Overload).
+type OverloadConfig struct {
+	// Interval between rebalancer sweeps. Default 20µs.
+	Interval sim.Duration
+	// MigrateThreshold: a ghost whose backlog estimate (queue depth ×
+	// service-time EWMA) exceeds this is a migration source when
+	// another ghost on the node sits at ≤ 1/4 of its backlog.
+	// Default 2µs.
+	MigrateThreshold sim.Duration
+	// SaturateThreshold: when every ghost of a node exceeds this
+	// backlog, the node degrades to original-mode target-side
+	// progress until the ghosts drain to 1/4 of it. Default 200µs.
+	SaturateThreshold sim.Duration
+	// MaxMovesPerSweep bounds binding migrations per node per sweep,
+	// so load shifts gradually instead of sloshing. Default 1.
+	MaxMovesPerSweep int
+}
+
+func (c *OverloadConfig) withDefaults() OverloadConfig {
+	out := *c
+	if out.Interval == 0 {
+		out.Interval = 20 * sim.Microsecond
+	}
+	if out.MigrateThreshold == 0 {
+		out.MigrateThreshold = 2 * sim.Microsecond
+	}
+	if out.SaturateThreshold == 0 {
+		out.SaturateThreshold = 200 * sim.Microsecond
+	}
+	if out.MaxMovesPerSweep == 0 {
+		out.MaxMovesPerSweep = 1
+	}
+	return out
 }
 
 func (c Config) withDefaults() Config {

@@ -191,6 +191,9 @@ func (p *Process) WinAllocate(comm *mpi.Comm, size int, info mpi.Info) (mpi.Wind
 	cw.cmdIdx = p.winCounts[cw.cmdKey]
 	p.winCounts[cw.cmdKey]++
 	cw.buildLayout(size, topo)
+	if p.d.cfg.Overload != nil {
+		cw.sh = p.attachOverload(cw)
+	}
 	if p.r.World().FaultsEnabled() {
 		for _, w := range lockWins {
 			w.SetReroute(cw.rerouteGhost)

@@ -87,6 +87,11 @@ func (cw *casperWin) redirect(kind mpi.OpKind, t, disp int, dt mpi.Datatype,
 	}
 	ts := cw.epochStateFor(t)
 	cw.p.r.Proc().Advance(cw.p.d.cfg.RedirectOverhead)
+	if cw.sh != nil {
+		// A staged binding handover drains the target before any new
+		// operation routes to it (see awaitHandover).
+		cw.sh.awaitHandover(cw.p, t)
+	}
 
 	if cw.p.d.cfg.SelfOpLocal && t == cw.comm.Rank() &&
 		(kind == mpi.KindPut || kind == mpi.KindGet) {
@@ -99,10 +104,17 @@ func (cw *casperWin) redirect(kind mpi.OpKind, t, disp int, dt mpi.Datatype,
 		cw.ensureGhostLocks(t, ts, w)
 	}
 
-	pieces := cw.route(kind, t, disp, dt, src, dst, ts)
+	pieces := cw.route(kind, t, disp, dt, src, dst, ts, w == cw.active)
 	cw.p.stats.Redirected++
 	if len(pieces) > 1 {
 		cw.p.stats.Split += int64(len(pieces) - 1)
+	}
+	if cw.sh != nil {
+		// One observer callback fires per piece at its terminal state;
+		// counting here (no park between route and issue) makes the
+		// in-flight window cover queued-but-unissued operations too.
+		cw.sh.inflight[t] += len(pieces)
+		cw.sh.routed[t]++
 	}
 	for _, pc := range pieces {
 		switch kind {
@@ -166,7 +178,7 @@ func (cw *casperWin) epochStateFor(t int) *ctarget {
 // route maps one user operation to ghost pieces according to the binding
 // model and the dynamic load-balancing policy (Section III-B).
 func (cw *casperWin) route(kind mpi.OpKind, t, disp int, dt mpi.Datatype,
-	src, dst []byte, ts *ctarget) []piece {
+	src, dst []byte, ts *ctarget, onActive bool) []piece {
 	ti := &cw.layout[t]
 	if disp < 0 || disp+dt.Extent() > ti.size {
 		panic(fmt.Sprintf("casper: op at disp %d extent %d outside %d-byte window of target %d",
@@ -187,7 +199,7 @@ func (cw *casperWin) route(kind mpi.OpKind, t, disp int, dt mpi.Datatype,
 
 	// Rank binding (and single-element atomics under segment binding,
 	// which always fit one chunk).
-	ghost := ti.bound
+	ghost := cw.boundGhostFor(t, ti, onActive)
 	if cw.binding == BindSegment {
 		ghost = cw.ownerOf(ti, abs)
 	} else if cw.dynamicEligible(kind, ts) {

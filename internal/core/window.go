@@ -43,6 +43,10 @@ type casperWin struct {
 
 	cmdKey string // creation command payload; keys the free protocol
 	cmdIdx int    // per-key creation index (windows may free in any order)
+
+	// sh is the shared overload state of this window (all ranks'
+	// handles point at the same object); nil without Config.Overload.
+	sh *winShared
 }
 
 var _ mpi.Window = (*casperWin)(nil)
@@ -275,6 +279,20 @@ func (cw *casperWin) flushRanks(t int, ts *ctarget, w *mpi.Win) []int {
 	if ts != nil && ts.lockedGhosts != nil {
 		base = ts.lockedGhosts
 	}
+	if cw.sh != nil && w == cw.active && cw.sh.everDeg[ti.node] {
+		// The node ran degraded at some point: operations may be
+		// pending at the target itself, so flushes must drain it too.
+		found := false
+		for _, g := range base {
+			if g == ti.selfInternal {
+				found = true
+				break
+			}
+		}
+		if !found {
+			base = append(append([]int(nil), base...), ti.selfInternal)
+		}
+	}
 	if w != cw.active || !cw.p.r.World().AnyHealthFailure() {
 		return base
 	}
@@ -383,6 +401,18 @@ func (cw *casperWin) Lock(t int, lt mpi.LockType, assert mpi.Assert) {
 	ts.lt = lt
 	ts.ghostsLkd = false
 	ts.dynamicOK = false
+	if cw.sh != nil {
+		// Block binding migration of t while the epoch is open (the
+		// rebalancer defers to the epoch boundary). If the target is
+		// currently routed to itself (degraded node), stage a revert to
+		// ghost progress: the epoch's locks live on the ghosts, so its
+		// operations must be served there.
+		cw.sh.lockHolds[t]++
+		ti := &cw.layout[t]
+		if cw.sh.serverOf(t, ti) == ti.selfInternal {
+			cw.sh.setServer(t, -1)
+		}
+	}
 	cw.ensureGhostLocks(t, ts, cw.winFor(t, ts))
 }
 
@@ -402,6 +432,9 @@ func (cw *casperWin) Unlock(t int) {
 		w.Unlock(g)
 	}
 	delete(cw.targets, t)
+	if cw.sh != nil {
+		cw.sh.lockHolds[t]--
+	}
 }
 
 // LockAll opens a lockall epoch. When lock epochs are also declared it

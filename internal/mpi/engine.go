@@ -29,6 +29,15 @@ type rankEngine struct {
 	inMPI   int         // MPI call nesting depth
 	pending []*delivery // software AMs deferred until the next MPI entry
 	stolen  sim.Duration
+
+	// Load telemetry for the overload rebalancer: AMs submitted to the
+	// pipeline but not yet serviced, the high-water mark, and an EWMA
+	// of per-AM service cost. Pure bookkeeping — never affects timing.
+	depth      int
+	peakDepth  int
+	ewma       float64      // smoothed AM service cost, ns
+	depthInteg sim.Duration // time integral of depth (depth x elapsed)
+	depthAt    sim.Time     // last depth change
 }
 
 func (e *rankEngine) init(r *Rank) {
@@ -41,6 +50,44 @@ func (e *rankEngine) init(r *Rank) {
 type delivery struct {
 	op      *rmaOp
 	arrived sim.Time
+}
+
+// LoadDepth returns the number of software AMs submitted to this
+// rank's service pipeline and not yet serviced.
+func (r *Rank) LoadDepth() int { return r.engine.depth }
+
+// PeakLoadDepth returns the high-water mark of LoadDepth.
+func (r *Rank) PeakLoadDepth() int { return r.engine.peakDepth }
+
+// ServiceEWMA returns the smoothed per-AM service cost observed at
+// this rank, in nanoseconds (0 before the first AM).
+func (r *Rank) ServiceEWMA() float64 { return r.engine.ewma }
+
+// LoadIntegral returns the time integral of LoadDepth since the start
+// of the run. The delta between two samples divided by the sampling
+// interval is the average queue depth over that interval — a burst-
+// and flush-dip-free load signal for the overload rebalancer.
+func (r *Rank) LoadIntegral() sim.Duration {
+	e := r.engine
+	return e.depthInteg + sim.Duration(e.depth)*sim.Duration(r.w.eng.Now().Sub(e.depthAt))
+}
+
+// noteDepth accrues the depth integral and applies a depth change.
+func (e *rankEngine) noteDepth(dd int) {
+	now := e.r.w.eng.Now()
+	e.depthInteg += sim.Duration(e.depth) * sim.Duration(now.Sub(e.depthAt))
+	e.depthAt = now
+	e.depth += dd
+	if e.depth > e.peakDepth {
+		e.peakDepth = e.depth
+	}
+}
+
+// BacklogEstimate returns the estimated virtual time this rank needs
+// to drain its queued AMs: queue depth × smoothed service cost. The
+// overload rebalancer compares these across a node's ghosts.
+func (r *Rank) BacklogEstimate() sim.Duration {
+	return sim.Duration(float64(r.engine.depth) * r.engine.ewma)
 }
 
 // enterMPI marks the rank inside MPI, draining any deferred AMs into the
@@ -113,7 +160,13 @@ func (e *rankEngine) deliver(d *delivery) {
 func (e *rankEngine) service(d *delivery, factor float64, extra sim.Duration) sim.Duration {
 	op := d.op
 	cost := sim.Duration(float64(e.r.w.net.AMCost(op.bytes(), op.contiguous()))*factor) + extra
-	end := e.srv.Submit(d.arrived, cost, func() { op.applyAndAck() })
+	e.noteDepth(1)
+	if e.ewma == 0 {
+		e.ewma = float64(cost)
+	} else {
+		e.ewma = 0.75*e.ewma + 0.25*float64(cost)
+	}
+	end := e.srv.Submit(d.arrived, cost, func() { e.noteDepth(-1); op.applyAndAck() })
 	op.svcStart, op.svcEnd, op.svcOwner = end.Add(-cost), end, e.r.id
 	e.r.stats.SoftwareAMs++
 	e.r.stats.BytesIn += int64(op.bytes())

@@ -44,6 +44,10 @@ const (
 	// ErrMessageLost: the transport exhausted its retransmission
 	// budget without an acknowledgment.
 	ErrMessageLost
+	// ErrBacklog: the flow-control credit window toward a target
+	// stayed exhausted past the configured timeout — the target's AM
+	// queue is full and not draining (MPI_ERR_BACKLOG).
+	ErrBacklog
 )
 
 // String implements fmt.Stringer.
@@ -57,6 +61,8 @@ func (c ErrClass) String() string {
 		return "MPI_ERR_PROC_FAILED"
 	case ErrMessageLost:
 		return "MPI_ERR_MESSAGE_LOST"
+	case ErrBacklog:
+		return "MPI_ERR_BACKLOG"
 	default:
 		return "MPI_ERR_OTHER"
 	}

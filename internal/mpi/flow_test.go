@@ -1,0 +1,161 @@
+package mpi
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// creditStorm is the flow-control stress shape: three origins each
+// fire ops accumulates at rank 0 while it computes (providing no
+// progress), so issued AMs pile up in its queue until it finally
+// parks in MPI and drains them. It returns the world and the value
+// rank 0 observed after every origin finished.
+func creditStorm(t *testing.T, cfg Config, ops int) (*World, float64) {
+	t.Helper()
+	var sum float64
+	w := mustRun(t, cfg, func(r *Rank) {
+		c := r.CommWorld()
+		win, buf := r.WinAllocate(c, 64, nil)
+		c.Barrier()
+		if r.Rank() == 0 {
+			r.Compute(200 * sim.Microsecond)
+			for i := 1; i < cfg.N; i++ {
+				c.Recv(i, 7)
+			}
+			sum = GetFloat64s(buf)[0]
+		} else {
+			win.LockAll(AssertNone)
+			for i := 0; i < ops; i++ {
+				win.Accumulate(PutFloat64s([]float64{1}), 0, 0, Scalar(Float64), OpSum)
+			}
+			win.UnlockAll()
+			c.Send(0, 7, nil)
+		}
+		c.Barrier()
+		win.Free()
+	})
+	return w, sum
+}
+
+func TestCreditWindowBoundsQueueDepth(t *testing.T) {
+	const ops = 64
+	unbounded, usum := creditStorm(t, testConfig(4, 4), ops)
+
+	cfg := testConfig(4, 4)
+	cfg.Flow = &FlowConfig{Credits: 2}
+	bounded, bsum := creditStorm(t, cfg, ops)
+
+	// 3 origins x 2 credits: the busy target's queue can never hold
+	// more than 6 operations, while the unprotected run must exceed
+	// that for the comparison to mean anything.
+	const bound = 3 * 2
+	if d := unbounded.Summary().PeakQueueDepth; d <= bound {
+		t.Fatalf("storm too small: unprotected peak depth %d within bound %d", d, bound)
+	}
+	if d := bounded.Summary().PeakQueueDepth; d > bound {
+		t.Fatalf("credit window leaked: peak depth %d > bound %d", d, bound)
+	}
+	if s := bounded.Summary().CreditStalls; s == 0 {
+		t.Fatal("no origin ever stalled on a credit; the window was never exercised")
+	}
+	// Backpressure delays operations, it must not lose them.
+	if want := float64(3 * ops); usum != want || bsum != want {
+		t.Fatalf("sums = %v (unbounded) / %v (bounded), want %v", usum, bsum, want)
+	}
+}
+
+func TestCreditTimeoutRaisesErrBacklog(t *testing.T) {
+	cfg := testConfig(2, 2)
+	cfg.Errors = ErrorsReturn
+	cfg.Flow = &FlowConfig{Credits: 1, Timeout: 20 * sim.Microsecond}
+	var (
+		sum      float64
+		errClass ErrClass
+		errMsg   string
+		drops    int64
+	)
+	mustRun(t, cfg, func(r *Rank) {
+		c := r.CommWorld()
+		win, buf := r.WinAllocate(c, 8, nil)
+		c.Barrier()
+		if r.Rank() == 0 {
+			r.Compute(300 * sim.Microsecond)
+			c.Recv(1, 7)
+			sum = GetFloat64s(buf)[0]
+		} else {
+			win.LockAll(AssertNone)
+			for i := 0; i < 5; i++ {
+				win.Accumulate(PutFloat64s([]float64{1}), 0, 0, Scalar(Float64), OpSum)
+			}
+			if err := r.Err(); err != nil {
+				errClass, errMsg = err.Class, err.Error()
+				r.ClearErr()
+			}
+			win.UnlockAll()
+			drops = r.Stats().BacklogDropped
+			c.Send(0, 7, nil)
+		}
+		c.Barrier()
+		win.Free()
+	})
+	if errClass != ErrBacklog {
+		t.Fatalf("expected MPI_ERR_BACKLOG, got class %v (%q)", errClass, errMsg)
+	}
+	if !strings.Contains(errMsg, "credit") {
+		t.Fatalf("backlog error does not explain itself: %q", errMsg)
+	}
+	// Op 1 takes the only credit; ops 2-5 each wait out the 20us
+	// timeout against a 300us-busy target and are dropped.
+	if drops != 4 {
+		t.Fatalf("BacklogDropped = %d, want 4", drops)
+	}
+	if sum != 1 {
+		t.Fatalf("target saw %v, want exactly the one undropped op", sum)
+	}
+}
+
+func TestDeadlockErrorCarriesWaitGraph(t *testing.T) {
+	// A hang in a flow-controlled world must come back with the
+	// wait-for graph attached, not just a list of parked procs.
+	cfg := testConfig(3, 3)
+	cfg.Flow = &FlowConfig{}
+	w, err := NewWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Launch(func(r *Rank) {
+		c := r.CommWorld()
+		win, _ := r.WinAllocate(c, 8, nil)
+		c.Barrier()
+		switch r.Rank() {
+		case 0:
+			c.Recv(1, 99) // parked in MPI forever: services AMs but never returns
+		case 1:
+			// Wins the exclusive lock on rank 0, then blocks holding it.
+			win.Lock(0, LockExclusive, AssertNone)
+			win.Accumulate(PutFloat64s([]float64{1}), 0, 0, Scalar(Float64), OpSum)
+			win.Flush(0)
+			c.Recv(2, 99)
+		case 2:
+			// Queues behind rank 1's exclusive lock and waits forever.
+			r.Compute(5 * sim.Microsecond)
+			win.Lock(0, LockExclusive, AssertNone)
+			win.Accumulate(PutFloat64s([]float64{1}), 0, 0, Scalar(Float64), OpSum)
+			win.Flush(0)
+		}
+	})
+	err = w.Run()
+	de, ok := err.(*sim.DeadlockError)
+	if !ok {
+		t.Fatalf("expected deadlock, got %v", err)
+	}
+	msg := de.Error()
+	if !strings.Contains(msg, "wait-for graph") {
+		t.Fatalf("deadlock report has no wait-for graph:\n%s", msg)
+	}
+	if !strings.Contains(msg, "queued behind exclusive lock") {
+		t.Fatalf("wait-for graph does not name the blocking lock:\n%s", msg)
+	}
+}

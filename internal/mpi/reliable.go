@@ -355,6 +355,7 @@ func (rel *reliability) deliverAck(pkt *packet) {
 		if op.req != nil {
 			op.req.pending.Done()
 		}
+		op.win.opTerminal(op)
 	}
 }
 
@@ -456,6 +457,7 @@ func (rel *reliability) abandon(pkt *packet, class ErrClass, msg string) {
 		if op.req != nil {
 			op.req.pending.Done()
 		}
+		op.win.opTerminal(op)
 	} else {
 		rel.w.p2pLost++
 	}

@@ -70,6 +70,7 @@ type rmaOp struct {
 
 	pending *sim.CompletionSet // origin-side ack tracking (flush)
 	req     *RMARequest        // request-based op handle (Rput/Rget), or nil
+	credit  *creditChan        // flow-control credit held, or nil
 
 	// Reliability bookkeeping (fault plans only).
 	applied bool    // took effect at a target exactly once
@@ -171,6 +172,25 @@ func (w *Win) issue(op *rmaOp) {
 				op.kind, op.disp, op.dt.Extent(), reg.n, op.target)
 			return // ErrorsReturn: drop the op before any accounting
 		}
+	}
+
+	if f := w.g.w.flow; f != nil {
+		// Acquire a flow-control credit toward the target, blocking in
+		// virtual time while the window is exhausted. We are inside an
+		// MPI call here, so self-targeted AMs keep draining while the
+		// proc is parked.
+		ch := f.acquire(r, w.g.comm.ranks[op.target])
+		if ch == nil {
+			// Credit timeout under ErrorsReturn (ErrBacklog raised):
+			// drop before any accounting so flushes cannot hang on the
+			// op, but still notify the observer so layered in-flight
+			// counters do not leak.
+			if w.g.onOpDone != nil {
+				w.g.onOpDone(w.me, op.target, op.disp)
+			}
+			return
+		}
+		op.credit = ch
 	}
 
 	op.win = w.g
@@ -409,5 +429,21 @@ func (o *rmaOp) ack() {
 		if o.req != nil {
 			o.req.pending.Done()
 		}
+		g.opTerminal(o)
 	})
+}
+
+// opTerminal runs exactly once per op that passed issue-time
+// validation, when it reaches its terminal state (ack delivered at the
+// origin, abandoned by the transport, or dropped on credit timeout):
+// it returns the flow-control credit and notifies the op observer.
+// Runs in engine context.
+func (g *winGlobal) opTerminal(o *rmaOp) {
+	if o.credit != nil {
+		o.credit.release()
+		o.credit = nil
+	}
+	if g.onOpDone != nil {
+		g.onOpDone(o.origin, o.target, o.disp)
+	}
 }

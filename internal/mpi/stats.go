@@ -34,6 +34,14 @@ type WorldSummary struct {
 	Abandoned      int64
 	RanksFailed    int
 	P2PLost        int64
+
+	// Flow-control aggregates. The counters are exactly zero for a
+	// world without a FlowConfig, keeping historical summary strings
+	// bit-identical; PeakQueueDepth is always measured.
+	CreditStalls    int64
+	CreditStallTime sim.Duration
+	BacklogDropped  int64
+	PeakQueueDepth  int // max over ranks of the AM pipeline high-water mark
 }
 
 // Summary aggregates the counters of every rank.
@@ -53,6 +61,12 @@ func (w *World) Summary() WorldSummary {
 		s.DupsSuppressed += st.DupsSuppressed
 		s.Reroutes += st.Reroutes
 		s.Abandoned += st.Abandoned
+		s.CreditStalls += st.CreditStalls
+		s.CreditStallTime += st.CreditStallTime
+		s.BacklogDropped += st.BacklogDropped
+		if r.engine.peakDepth > s.PeakQueueDepth {
+			s.PeakQueueDepth = r.engine.peakDepth
+		}
 	}
 	if w.inj != nil {
 		fs := w.inj.Stats()
@@ -78,6 +92,11 @@ func (s WorldSummary) String() string {
 			" faults[drop=%d delay=%d dup=%d] retrans=%d timeouts=%d dups_supp=%d reroutes=%d abandoned=%d failed=%d p2p_lost=%d",
 			s.FaultDrops, s.FaultDelays, s.FaultDups, s.Retransmits, s.RetryTimeouts,
 			s.DupsSuppressed, s.Reroutes, s.Abandoned, s.RanksFailed, s.P2PLost)
+	}
+	// Flow-control section appears only when credits actually bound.
+	if s.CreditStalls != 0 || s.CreditStallTime != 0 || s.BacklogDropped != 0 {
+		out += fmt.Sprintf(" flow[stalls=%d stall_time=%v dropped=%d peak_depth=%d]",
+			s.CreditStalls, s.CreditStallTime, s.BacklogDropped, s.PeakQueueDepth)
 	}
 	return out
 }

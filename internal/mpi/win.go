@@ -36,6 +36,15 @@ type winGlobal struct {
 	// rank exposing the same memory (Casper's same-node ghosts) or
 	// ok=false when no replacement exists.
 	reroute func(origin, oldTarget, disp int) (newTarget int, ok bool)
+
+	// onOpDone, when set, fires once per RMA op when it reaches its
+	// terminal state (acked, abandoned, or dropped for lack of
+	// credits), with the op's origin and final target comm ranks and
+	// displacement. Layered runtimes use it to track per-origin and
+	// per-target in-flight counts.
+	onOpDone func(origin, target, disp int)
+
+	handles []*Win // every rank's handle, for diagnostics
 }
 
 type pscwGlobal struct {
@@ -144,14 +153,23 @@ func (w *Win) SetReroute(fn func(origin, oldTarget, disp int) (int, bool)) {
 	w.g.reroute = fn
 }
 
+// SetOpObserver installs the window's op-terminal hook (see
+// winGlobal.onOpDone). The hook is window-global; any handle may
+// install it. It runs in engine context — it must not park.
+func (w *Win) SetOpObserver(fn func(origin, target, disp int)) {
+	w.g.onOpDone = fn
+}
+
 // newWin builds the per-rank handle.
 func newWin(g *winGlobal, r *Rank) *Win {
 	me, ok := g.comm.index[r.id]
 	if !ok {
 		panic("mpi: rank not in window comm")
 	}
-	return &Win{g: g, c: &Comm{g: g.comm, me: me, r: r}, r: r, me: me,
+	win := &Win{g: g, c: &Comm{g: g.comm, me: me, r: r}, r: r, me: me,
 		targets: map[int]*targetState{}}
+	g.handles = append(g.handles, win)
+	return win
 }
 
 // winCollective performs the collective creation rendezvous: each rank
@@ -167,6 +185,7 @@ func (r *Rank) winCollective(c *Comm, reg Region, info Info, cost sim.Duration) 
 		}
 		c.g.w.winSeq++
 		g.id = c.g.w.winSeq
+		c.g.w.wins = append(c.g.w.wins, g)
 		for i, v := range vals {
 			if reg, ok := v.(Region); ok { // crashed member exposes nothing
 				g.regions[i] = reg

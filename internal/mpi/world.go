@@ -63,6 +63,12 @@ type Config struct {
 	// crashes/stalls/stragglers are armed, and health monitoring becomes
 	// available. A nil plan leaves the seed code paths untouched.
 	Fault *fault.Plan
+	// Flow, when non-nil, enables credit-based flow control for
+	// software RMA: origins hold a bounded credit window per target
+	// and block in virtual time when it is exhausted, so a saturated
+	// ghost's queue depth is bounded instead of growing without limit.
+	// A nil config leaves the seed code paths untouched.
+	Flow *FlowConfig
 	// Errors selects the error-handler model; the zero value,
 	// ErrorsAreFatal, panics exactly as the runtime always has.
 	Errors ErrorMode
@@ -90,6 +96,14 @@ type World struct {
 	groupComms map[string][]*commGlobal // CommFromGroup instances by rank set
 
 	comms []*commGlobal // every live comm, for failure reaping
+	wins  []*winGlobal  // every window, for wait-for diagnostics
+
+	// Flow-control state; nil without a Config.Flow.
+	flow *flowState
+
+	// shared holds world-global state for layered runtimes (keyed
+	// singletons in the single simulated address space).
+	shared map[string]interface{}
 
 	// Fault-injection state; all nil/zero without a Config.Fault plan.
 	inj         *fault.Injector
@@ -130,12 +144,22 @@ func NewWorld(cfg Config) (*World, error) {
 		w.rel = newReliability(w)
 		w.deathHooks = append(w.deathHooks, w.rel.onDeath)
 	}
+	if cfg.Flow != nil {
+		w.flow = newFlowState(w, cfg.Flow)
+	}
 	maxEvents := cfg.WatchdogEvents
 	if maxEvents == 0 && cfg.Fault != nil {
 		maxEvents = 250_000_000
 	}
 	if maxEvents != 0 || cfg.WatchdogTime != 0 {
 		w.eng.SetWatchdog(maxEvents, cfg.WatchdogTime)
+	}
+	if cfg.Fault != nil || cfg.Flow != nil {
+		// Hang diagnostics: if the timeline wedges (deadlock) or spins
+		// without advancing (livelock), the error carries a wait-for
+		// graph instead of leaving the user to guess.
+		w.eng.SetStallWatchdog(2_000_000)
+		w.eng.AddDiagnostic(w.waitDiagnostics)
 	}
 	w.ranks = make([]*Rank, cfg.N)
 	for i := range w.ranks {
@@ -174,6 +198,22 @@ func (w *World) Tracer() *trace.Tracer { return w.tracer }
 // RankByID returns the Rank object for a world rank (for inspection by
 // tests and harnesses; application code receives its Rank from Launch).
 func (w *World) RankByID(i int) *Rank { return w.ranks[i] }
+
+// SharedState returns the world-global value under key, calling create
+// to build it on first use. Layered runtimes (Casper) use it for
+// singletons that live in the simulated job's single address space,
+// such as the overload rebalancer.
+func (w *World) SharedState(key string, create func() interface{}) interface{} {
+	if w.shared == nil {
+		w.shared = make(map[string]interface{})
+	}
+	v, ok := w.shared[key]
+	if !ok {
+		v = create()
+		w.shared[key] = v
+	}
+	return v
+}
 
 // Launch spawns every rank running main and schedules them at time 0,
 // then arms any configured fault plan.
@@ -303,6 +343,11 @@ type RankStats struct {
 	DupsSuppressed int64 // duplicate packets discarded at this rank
 	Reroutes       int64 // ops failed over to a replacement target
 	Abandoned      int64 // ops given up on (error surfaced)
+
+	// Flow-control counters (all zero without a FlowConfig).
+	CreditStalls    int64        // issues that had to wait for a credit
+	CreditStallTime sim.Duration // virtual time spent waiting for credits
+	BacklogDropped  int64        // ops dropped after a credit timeout
 }
 
 func newRank(w *World, id int) *Rank {

@@ -111,6 +111,14 @@ type Engine struct {
 	maxEvents int64 // watchdog: 0 disables
 	maxTime   Time  // watchdog: 0 disables
 
+	// Stall watchdog: trip when stallEvents execute without the clock
+	// advancing (a livelock spinning at one instant). 0 disables.
+	stallEvents     int64
+	lastAdvance     Time  // now at the last observed clock advance
+	lastAdvanceExec int64 // executed count when the clock last advanced
+
+	diagnostics []func() []string // extra context appended to errors
+
 	panicked bool
 	panicVal interface{}
 }
@@ -166,6 +174,28 @@ func (e *Engine) AfterBG(d Duration, fn func()) { e.AtBG(e.now.Add(d), fn) }
 func (e *Engine) SetWatchdog(maxEvents int64, maxTime Time) {
 	e.maxEvents = maxEvents
 	e.maxTime = maxTime
+}
+
+// SetStallWatchdog arms a livelock detector: Run fails with a
+// *WatchdogError when events consecutive events execute without the
+// virtual clock advancing. Unlike the total-event limit this scales
+// with the workload — any amount of forward progress resets it. Zero
+// disables.
+func (e *Engine) SetStallWatchdog(events int64) { e.stallEvents = events }
+
+// AddDiagnostic registers a callback that contributes context lines
+// (e.g. a wait-for graph) to DeadlockError and WatchdogError. The
+// callback runs only when such an error is being built.
+func (e *Engine) AddDiagnostic(fn func() []string) {
+	e.diagnostics = append(e.diagnostics, fn)
+}
+
+func (e *Engine) collectDiagnostics() []string {
+	var out []string
+	for _, fn := range e.diagnostics {
+		out = append(out, fn()...)
+	}
+	return out
 }
 
 // EventsExecuted returns the number of events Run has executed so far.
@@ -242,13 +272,18 @@ func (e *Engine) transfer(p *Proc) {
 // DeadlockError reports that Run exhausted all events while processes were
 // still parked: the simulated system can make no further progress.
 type DeadlockError struct {
-	Time  Time
-	Stuck []string // "name: reason" for each parked process
+	Time        Time
+	Stuck       []string // "name: reason" for each parked process
+	Diagnostics []string // extra context from AddDiagnostic callbacks
 }
 
 func (d *DeadlockError) Error() string {
-	return fmt.Sprintf("sim: deadlock at %v; %d stuck: %s",
+	msg := fmt.Sprintf("sim: deadlock at %v; %d stuck: %s",
 		d.Time, len(d.Stuck), strings.Join(d.Stuck, "; "))
+	if len(d.Diagnostics) > 0 {
+		msg += "\n" + strings.Join(d.Diagnostics, "\n")
+	}
+	return msg
 }
 
 // WatchdogError reports that Run exceeded a SetWatchdog limit — the
@@ -256,15 +291,20 @@ func (d *DeadlockError) Error() string {
 // endless retransmission loop). It carries the same stuck-process
 // diagnostics as a deadlock, plus the event count.
 type WatchdogError struct {
-	Time   Time
-	Events int64
-	Limit  string   // which limit tripped, human-readable
-	Stuck  []string // "name: reason" for each parked process
+	Time        Time
+	Events      int64
+	Limit       string   // which limit tripped, human-readable
+	Stuck       []string // "name: reason" for each parked process
+	Diagnostics []string // extra context from AddDiagnostic callbacks
 }
 
 func (w *WatchdogError) Error() string {
-	return fmt.Sprintf("sim: watchdog tripped (%s) at %v after %d events; %d stuck: %s",
+	msg := fmt.Sprintf("sim: watchdog tripped (%s) at %v after %d events; %d stuck: %s",
 		w.Limit, w.Time, w.Events, len(w.Stuck), strings.Join(w.Stuck, "; "))
+	if len(w.Diagnostics) > 0 {
+		msg += "\n" + strings.Join(w.Diagnostics, "\n")
+	}
+	return msg
 }
 
 // stuckProcs lists parked and never-started processes (excluding killed
@@ -295,20 +335,32 @@ func (e *Engine) Run() error {
 			// end time is exactly what the processes produced.
 			continue
 		}
+		if ev.at > e.now || e.executed == 0 {
+			e.lastAdvance = ev.at
+			e.lastAdvanceExec = e.executed
+		}
 		e.now = ev.at
 		e.executed++
 		ev.fn()
 		if e.maxEvents > 0 && e.executed >= e.maxEvents {
 			return &WatchdogError{Time: e.now, Events: e.executed,
-				Limit: fmt.Sprintf("event limit %d", e.maxEvents), Stuck: e.stuckProcs()}
+				Limit: fmt.Sprintf("event limit %d", e.maxEvents), Stuck: e.stuckProcs(),
+				Diagnostics: e.collectDiagnostics()}
 		}
 		if e.maxTime > 0 && e.now > e.maxTime {
 			return &WatchdogError{Time: e.now, Events: e.executed,
-				Limit: fmt.Sprintf("virtual-time limit %v", e.maxTime), Stuck: e.stuckProcs()}
+				Limit: fmt.Sprintf("virtual-time limit %v", e.maxTime), Stuck: e.stuckProcs(),
+				Diagnostics: e.collectDiagnostics()}
+		}
+		if e.stallEvents > 0 && e.executed-e.lastAdvanceExec >= e.stallEvents {
+			return &WatchdogError{Time: e.now, Events: e.executed,
+				Limit: fmt.Sprintf("stalled: %d events with no time advance", e.stallEvents),
+				Stuck: e.stuckProcs(), Diagnostics: e.collectDiagnostics()}
 		}
 	}
 	if e.live > 0 {
-		d := &DeadlockError{Time: e.now, Stuck: e.stuckProcs()}
+		d := &DeadlockError{Time: e.now, Stuck: e.stuckProcs(),
+			Diagnostics: e.collectDiagnostics()}
 		return d
 	}
 	return nil

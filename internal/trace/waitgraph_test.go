@@ -1,0 +1,70 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderWaitGraphEmpty(t *testing.T) {
+	if lines := RenderWaitGraph(nil); lines != nil {
+		t.Fatalf("empty graph rendered %v", lines)
+	}
+}
+
+func TestRenderWaitGraphReportsCycleFirst(t *testing.T) {
+	lines := RenderWaitGraph([]WaitEdge{
+		{From: 2, To: 0, Label: "queued behind exclusive lock"},
+		{From: 0, To: 1, Label: "awaiting AM credit"},
+		{From: 1, To: 2, Label: "3 unacked RMA op(s)"},
+		{From: 3, To: 0, Label: "awaiting lock grant"},
+	})
+	if len(lines) != 5 {
+		t.Fatalf("want 1 cycle + 4 edges, got %d lines: %v", len(lines), lines)
+	}
+	if lines[0] != "  cycle: rank0 -> rank1 -> rank2 -> rank0" {
+		t.Fatalf("cycle line = %q", lines[0])
+	}
+	if lines[4] != "  rank3 waits on rank0: awaiting lock grant" {
+		t.Fatalf("edge line = %q", lines[4])
+	}
+}
+
+func TestRenderWaitGraphAcyclic(t *testing.T) {
+	lines := RenderWaitGraph([]WaitEdge{
+		{From: 0, To: 1, Label: "a"},
+		{From: 1, To: 2, Label: "b"},
+	})
+	for _, l := range lines {
+		if strings.Contains(l, "cycle") {
+			t.Fatalf("acyclic graph reported a cycle: %v", lines)
+		}
+	}
+	if len(lines) != 2 {
+		t.Fatalf("want 2 edge lines, got %v", lines)
+	}
+}
+
+func TestRenderWaitGraphDeduplicatesCycles(t *testing.T) {
+	// The same 0<->1 cycle is reachable from both nodes; it must be
+	// reported once, rotated to start at its smallest rank.
+	lines := RenderWaitGraph([]WaitEdge{
+		{From: 1, To: 0, Label: "x"},
+		{From: 0, To: 1, Label: "y"},
+	})
+	var cycles []string
+	for _, l := range lines {
+		if strings.Contains(l, "cycle") {
+			cycles = append(cycles, l)
+		}
+	}
+	if len(cycles) != 1 || cycles[0] != "  cycle: rank0 -> rank1 -> rank0" {
+		t.Fatalf("cycle lines = %v", cycles)
+	}
+}
+
+func TestRenderWaitGraphSelfCycle(t *testing.T) {
+	lines := RenderWaitGraph([]WaitEdge{{From: 4, To: 4, Label: "self"}})
+	if len(lines) != 2 || lines[0] != "  cycle: rank4 -> rank4" {
+		t.Fatalf("self-cycle render = %v", lines)
+	}
+}
