@@ -4,31 +4,71 @@
 // Usage:
 //
 //	casperbench -list
-//	casperbench -run fig4a [-csv] [-scale 0.5] [-seed 7]
+//	casperbench -run fig4a [-csv] [-scale 0.5] [-seed 7] [-parallel 8]
 //	casperbench -all
+//	casperbench -bench fig5a -benchout BENCH_fig5a.json
+//
+// -bench runs one experiment twice — serially and with -parallel
+// workers — and writes a JSON perf baseline (wall-clock, events/sec,
+// allocs/event, parallel speedup, bit-identity of the two outputs).
+// -cpuprofile and -memprofile write pprof profiles of the run.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/bench"
 )
 
 func main() {
 	var (
-		list  = flag.Bool("list", false, "list available experiments")
-		run   = flag.String("run", "", "experiment id to run (e.g. fig4a)")
-		all   = flag.Bool("all", false, "run every experiment")
-		csv   = flag.Bool("csv", false, "emit CSV instead of an aligned table")
-		scale = flag.Float64("scale", 1.0, "sweep scale factor (smaller = faster)")
-		seed  = flag.Int64("seed", 42, "simulation seed")
-		quick = flag.Bool("quick", false, "CI smoke mode: shorthand for -scale 0.12")
+		list       = flag.Bool("list", false, "list available experiments")
+		run        = flag.String("run", "", "experiment id to run (e.g. fig4a)")
+		all        = flag.Bool("all", false, "run every experiment")
+		csv        = flag.Bool("csv", false, "emit CSV instead of an aligned table")
+		scale      = flag.Float64("scale", 1.0, "sweep scale factor (smaller = faster)")
+		seed       = flag.Int64("seed", 42, "simulation seed")
+		quick      = flag.Bool("quick", false, "CI smoke mode: shorthand for -scale 0.12")
+		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "sweep worker goroutines (1 = serial)")
+		benchID    = flag.String("bench", "", "experiment id to benchmark serial vs -parallel")
+		benchOut   = flag.String("benchout", "", "write the -bench JSON baseline to this file (default stdout)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write an allocation profile to this file")
 	)
 	flag.Parse()
 	if *quick {
 		*scale = 0.12
+	}
+	opts := bench.Options{Scale: *scale, Seed: *seed, Parallel: *parallel}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatalf("casperbench: %v", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatalf("casperbench: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fatalf("casperbench: %v", err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fatalf("casperbench: %v", err)
+			}
+		}()
 	}
 
 	switch {
@@ -36,17 +76,24 @@ func main() {
 		for _, e := range bench.All() {
 			fmt.Printf("%-8s %-12s %s\n", e.ID, e.Figure, e.Title)
 		}
+	case *benchID != "":
+		e, ok := bench.Get(*benchID)
+		if !ok {
+			fatalf("casperbench: unknown experiment %q (try -list)", *benchID)
+		}
+		if err := runBench(e, opts, *benchOut); err != nil {
+			fatalf("casperbench: %v", err)
+		}
 	case *all:
 		for _, e := range bench.All() {
-			emit(e, bench.Options{Scale: *scale, Seed: *seed}, *csv)
+			emit(e, opts, *csv)
 		}
 	case *run != "":
 		e, ok := bench.Get(*run)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "casperbench: unknown experiment %q (try -list)\n", *run)
-			os.Exit(2)
+			fatalf("casperbench: unknown experiment %q (try -list)", *run)
 		}
-		emit(e, bench.Options{Scale: *scale, Seed: *seed}, *csv)
+		emit(e, opts, *csv)
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -61,4 +108,61 @@ func emit(e bench.Experiment, o bench.Options, csv bool) {
 		fmt.Print(res.Table())
 	}
 	fmt.Println()
+}
+
+// baseline is the BENCH_*.json schema: one serial and one parallel
+// measurement of the same experiment plus derived comparisons, with
+// enough environment detail to interpret the numbers later.
+type baseline struct {
+	Experiment      string            `json:"experiment"`
+	Scale           float64           `json:"scale"`
+	Seed            int64             `json:"seed"`
+	GoVersion       string            `json:"go_version"`
+	GOOS            string            `json:"goos"`
+	GOARCH          string            `json:"goarch"`
+	GOMAXPROCS      int               `json:"gomaxprocs"`
+	Serial          bench.Measurement `json:"serial"`
+	Parallel        bench.Measurement `json:"parallel"`
+	ParallelSpeedup float64           `json:"parallel_speedup"`
+	OutputIdentical bool              `json:"output_identical"`
+}
+
+func runBench(e bench.Experiment, o bench.Options, out string) error {
+	serial := o
+	serial.Parallel = 1
+	ms := bench.Measure(e, serial)
+	mp := bench.Measure(e, o)
+	b := baseline{
+		Experiment:      e.ID,
+		Scale:           o.Scale,
+		Seed:            o.Seed,
+		GoVersion:       runtime.Version(),
+		GOOS:            runtime.GOOS,
+		GOARCH:          runtime.GOARCH,
+		GOMAXPROCS:      runtime.GOMAXPROCS(0),
+		Serial:          ms,
+		Parallel:        mp,
+		OutputIdentical: ms.CSV == mp.CSV,
+	}
+	if mp.WallSeconds > 0 {
+		b.ParallelSpeedup = ms.WallSeconds / mp.WallSeconds
+	}
+	if !b.OutputIdentical {
+		return fmt.Errorf("%s: parallel output differs from serial", e.ID)
+	}
+	enc, err := json.MarshalIndent(&b, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if out == "" {
+		_, err = os.Stdout.Write(enc)
+		return err
+	}
+	return os.WriteFile(out, enc, 0o644)
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
 }

@@ -80,12 +80,17 @@ func runAbl1(o Options) *Result {
 		return maxEl.Millis()
 	}
 
-	var overlap, shared, slowdown []float64
-	for _, k := range xs {
-		a := measure(false, k)
-		b := measure(true, k)
-		overlap, shared = append(overlap, a), append(shared, b)
-		slowdown = append(slowdown, b/a)
+	n := len(xs)
+	overlap, shared, slowdown := make([]float64, n), make([]float64, n), make([]float64, n)
+	o.grid(n, 2, func(xi, vi int) {
+		if vi == 0 {
+			overlap[xi] = measure(false, xs[xi])
+		} else {
+			shared[xi] = measure(true, xs[xi])
+		}
+	})
+	for xi := range xs {
+		slowdown[xi] = shared[xi] / overlap[xi]
 	}
 	res.Series = []Series{
 		{Name: "Overlapping windows", Y: overlap},
@@ -133,11 +138,14 @@ func runAbl2(o Options) *Result {
 		return el.Micros() / 8
 	}
 
-	var lazy, eager []float64
-	for _, n := range xs {
-		lazy = append(lazy, measure(true, n))
-		eager = append(eager, measure(false, n))
-	}
+	lazy, eager := make([]float64, len(xs)), make([]float64, len(xs))
+	o.grid(len(xs), 2, func(xi, vi int) {
+		if vi == 0 {
+			lazy[xi] = measure(true, xs[xi])
+		} else {
+			eager[xi] = measure(false, xs[xi])
+		}
+	})
 	res.Series = []Series{
 		{Name: "Lazy acquisition", Y: lazy},
 		{Name: "Eager acquisition", Y: eager},
@@ -183,12 +191,17 @@ func runAbl3(o Options) *Result {
 		return el.Micros() / 8
 	}
 
-	var local, redirected, speedup []float64
-	for _, size := range xs {
-		a := measure(true, size)
-		b := measure(false, size)
-		local, redirected = append(local, a), append(redirected, b)
-		speedup = append(speedup, b/a)
+	n := len(xs)
+	local, redirected, speedup := make([]float64, n), make([]float64, n), make([]float64, n)
+	o.grid(n, 2, func(xi, vi int) {
+		if vi == 0 {
+			local[xi] = measure(true, xs[xi])
+		} else {
+			redirected[xi] = measure(false, xs[xi])
+		}
+	})
+	for xi := range xs {
+		speedup[xi] = redirected[xi] / local[xi]
 	}
 	res.Series = []Series{
 		{Name: "Self ops local", Y: local},

@@ -24,6 +24,11 @@ type Options struct {
 	Scale float64
 	// Seed for the simulation RNG.
 	Seed int64
+	// Parallel is the number of worker goroutines used to run
+	// independent sweep points concurrently (see parallel.go). Each
+	// point is a self-contained deterministic simulation, so results
+	// are bit-identical at any setting. <= 1 runs serially.
+	Parallel int
 }
 
 func (o Options) withDefaults() Options {

@@ -82,29 +82,25 @@ func init() {
 // ghost service capacity absorbs the growing software-RMA load (the
 // point of Fig. 6: "configurations with larger numbers of ghost
 // processes tend to perform better").
-func ghostSweep(res *Result, xs []int,
+func ghostSweep(o Options, res *Result, xs []int,
 	measure func(ghosts, x int) float64) {
-	ghostCounts := []int{2, 4, 8}
-	orig := make([]float64, len(xs))
-	for i, x := range xs {
-		orig[i] = measure(0, x)
+	variants := []int{0, 2, 4, 8} // ghost counts; 0 = Original MPI
+	ys := make([][]float64, len(variants))
+	for vi := range ys {
+		ys[vi] = make([]float64, len(xs))
 	}
-	res.Series = append(res.Series, Series{Name: "Original MPI", Y: orig})
-	var base []float64
-	for _, g := range ghostCounts {
-		ys := make([]float64, len(xs))
+	o.grid(len(variants), len(xs), func(vi, xi int) {
+		ys[vi][xi] = measure(variants[vi], xs[xi])
+	})
+	res.Series = append(res.Series, Series{Name: "Original MPI", Y: ys[0]})
+	base := ys[1] // the 2-ghost configuration
+	for vi, g := range variants[1:] {
 		sp := make([]float64, len(xs))
-		for i, x := range xs {
-			ys[i] = measure(g, x)
-		}
-		if base == nil {
-			base = ys
-		}
 		for i := range xs {
-			sp[i] = base[i] / ys[i]
+			sp[i] = base[i] / ys[vi+1][i]
 		}
 		res.Series = append(res.Series,
-			Series{Name: fmt.Sprintf("Casper (%d Ghosts)", g), Y: ys},
+			Series{Name: fmt.Sprintf("Casper (%d Ghosts)", g), Y: ys[vi+1]},
 			Series{Name: fmt.Sprintf("Speedup (%dG vs 2G)", g), Y: sp})
 	}
 }
@@ -121,7 +117,7 @@ func runFig6a(o Options) *Result {
 		Notes: []string{"16 user processes per node; rank binding"},
 	}
 	res.X = toF(xs)
-	ghostSweep(res, xs, func(g, procs int) float64 {
+	ghostSweep(o, res, xs, func(g, procs int) float64 {
 		return runBound(g, procs, 16, core.BindRank, core.LBStatic, o.Seed,
 			func(env mpi.Env, win mpi.Window, _ int) { allAcc(env, win, 1) })
 	})
@@ -137,7 +133,7 @@ func runFig6b(o Options) *Result {
 		Notes: []string{"2 nodes x 16 users; rank binding"},
 	}
 	res.X = toF(xs)
-	ghostSweep(res, xs, func(g, n int) float64 {
+	ghostSweep(o, res, xs, func(g, n int) float64 {
 		return runBound(g, 32, 16, core.BindRank, core.LBStatic, o.Seed,
 			func(env mpi.Env, win mpi.Window, _ int) { allAcc(env, win, n) })
 	})
@@ -206,7 +202,7 @@ func runFig6c(o Options) *Result {
 		}
 		return maxEl.Millis()
 	}
-	ghostSweep(res, xs, measure)
+	ghostSweep(o, res, xs, measure)
 	return res
 }
 
@@ -315,15 +311,23 @@ func runFig7a(o Options) *Result {
 		Notes: []string{fmt.Sprintf("%d nodes x %d users + %d ghosts", fig7Nodes, fig7Users, fig7Gh)},
 	}
 	res.X = toF(xs)
-	var orig, static, random, spS, spR []float64
-	for _, n := range xs {
-		w := unevenWork(n, 0, 1)
-		a := runFig7(core.LBStatic, true, o.Seed, w)
-		b := runFig7(core.LBStatic, false, o.Seed, w)
-		c := runFig7(core.LBRandom, false, o.Seed, w)
-		orig, static, random = append(orig, a), append(static, b), append(random, c)
-		spS = append(spS, b/c) // random speedup over static
-		spR = append(spR, a/c)
+	n := len(xs)
+	orig, static, random := make([]float64, n), make([]float64, n), make([]float64, n)
+	spS, spR := make([]float64, n), make([]float64, n)
+	o.grid(n, 3, func(xi, vi int) {
+		w := unevenWork(xs[xi], 0, 1)
+		switch vi {
+		case 0:
+			orig[xi] = runFig7(core.LBStatic, true, o.Seed, w)
+		case 1:
+			static[xi] = runFig7(core.LBStatic, false, o.Seed, w)
+		case 2:
+			random[xi] = runFig7(core.LBRandom, false, o.Seed, w)
+		}
+	})
+	for xi := range xs {
+		spS[xi] = static[xi] / random[xi] // random speedup over static
+		spR[xi] = orig[xi] / random[xi]
 	}
 	res.Series = []Series{
 		{Name: "Original MPI", Y: orig},
@@ -343,16 +347,24 @@ func runFig7b(o Options) *Result {
 		XLabel: "ops_to_rank0", YLabel: "ms",
 	}
 	res.X = toF(xs)
-	var orig, static, random, opc, spOp []float64
-	for _, n := range xs {
-		w := unevenWork(n, n, 1)
-		a := runFig7(core.LBStatic, true, o.Seed, w)
-		b := runFig7(core.LBStatic, false, o.Seed, w)
-		c := runFig7(core.LBRandom, false, o.Seed, w)
-		d := runFig7(core.LBOpCounting, false, o.Seed, w)
-		orig, static, random, opc = append(orig, a), append(static, b),
-			append(random, c), append(opc, d)
-		spOp = append(spOp, c/d) // op-counting speedup over random
+	n := len(xs)
+	orig, static := make([]float64, n), make([]float64, n)
+	random, opc, spOp := make([]float64, n), make([]float64, n), make([]float64, n)
+	o.grid(n, 4, func(xi, vi int) {
+		w := unevenWork(xs[xi], xs[xi], 1)
+		switch vi {
+		case 0:
+			orig[xi] = runFig7(core.LBStatic, true, o.Seed, w)
+		case 1:
+			static[xi] = runFig7(core.LBStatic, false, o.Seed, w)
+		case 2:
+			random[xi] = runFig7(core.LBRandom, false, o.Seed, w)
+		case 3:
+			opc[xi] = runFig7(core.LBOpCounting, false, o.Seed, w)
+		}
+	})
+	for xi := range xs {
+		spOp[xi] = random[xi] / opc[xi] // op-counting speedup over random
 	}
 	res.Series = []Series{
 		{Name: "Original MPI", Y: orig},
@@ -377,17 +389,24 @@ func runFig7c(o Options) *Result {
 		XLabel: "bytes", YLabel: "ms",
 	}
 	res.X = toF(xs)
-	var orig, static, random, opc, byc []float64
-	for _, sz := range xs {
-		w := unevenWork(4, 4, sz/8)
-		a := runFig7(core.LBStatic, true, o.Seed, w)
-		b := runFig7(core.LBStatic, false, o.Seed, w)
-		c := runFig7(core.LBRandom, false, o.Seed, w)
-		d := runFig7(core.LBOpCounting, false, o.Seed, w)
-		e := runFig7(core.LBByteCounting, false, o.Seed, w)
-		orig, static, random = append(orig, a), append(static, b), append(random, c)
-		opc, byc = append(opc, d), append(byc, e)
-	}
+	n := len(xs)
+	orig, static, random := make([]float64, n), make([]float64, n), make([]float64, n)
+	opc, byc := make([]float64, n), make([]float64, n)
+	o.grid(n, 5, func(xi, vi int) {
+		w := unevenWork(4, 4, xs[xi]/8)
+		switch vi {
+		case 0:
+			orig[xi] = runFig7(core.LBStatic, true, o.Seed, w)
+		case 1:
+			static[xi] = runFig7(core.LBStatic, false, o.Seed, w)
+		case 2:
+			random[xi] = runFig7(core.LBRandom, false, o.Seed, w)
+		case 3:
+			opc[xi] = runFig7(core.LBOpCounting, false, o.Seed, w)
+		case 4:
+			byc[xi] = runFig7(core.LBByteCounting, false, o.Seed, w)
+		}
+	})
 	res.Series = []Series{
 		{Name: "Original MPI", Y: orig},
 		{Name: "Static", Y: static},

@@ -27,6 +27,42 @@ func TestStencilDeterministic(t *testing.T) {
 	assertDeterministic(t, "fig5a")
 }
 
+// assertParallelIdentical runs an experiment serially and with 8 sweep
+// workers and requires bit-identical rendered output. This is the
+// parallel harness's contract: worker count may change scheduling of
+// whole sweep points across OS threads, but every point is its own
+// engine writing its own result slot, so the assembled output must not
+// depend on Parallel at all.
+func assertParallelIdentical(t *testing.T, id string) {
+	t.Helper()
+	serial := runExp(t, id, tiny())
+	par := tiny()
+	par.Parallel = 8
+	parallel := runExp(t, id, par)
+	if serial.CSV() != parallel.CSV() {
+		t.Fatalf("%s: CSV differs between serial and parallel runs:\n--- serial\n%s\n--- parallel=8\n%s",
+			id, serial.CSV(), parallel.CSV())
+	}
+	if serial.Table() != parallel.Table() {
+		t.Fatalf("%s: table differs between serial and parallel runs:\n--- serial\n%s\n--- parallel=8\n%s",
+			id, serial.Table(), parallel.Table())
+	}
+}
+
+func TestParallelSweepIdentical(t *testing.T) {
+	// fig5a is the headline scaling sweep; overload and faultrecover
+	// have the most intricate cross-run aggregation (notes built from
+	// per-point records, sequential baseline->crash pairs), so they are
+	// the most likely to betray an index mix-up under parallel order.
+	for _, id := range []string{"fig5a", "overload", "faultrecover"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			assertParallelIdentical(t, id)
+		})
+	}
+}
+
 // The overload experiment exercises every new layer at once — credit
 // flow control, the rebalancer's sweeps and handover drains, and the
 // watchdog arming — so a nondeterministic instant anywhere in that

@@ -102,13 +102,22 @@ func init() {
 				XLabel: "user_procs", YLabel: "ms",
 			}
 			p := faultStencilParams()
-			var base, zero []float64
-			for _, users := range []int{4, 8} {
+			userCounts := []int{4, 8}
+			bs := make([]stencilResult, len(userCounts))
+			zs := make([]stencilResult, len(userCounts))
+			o.grid(len(userCounts), 2, func(ui, vi int) {
+				if vi == 0 {
+					bs[ui] = runStencilFault(userCounts[ui], 1, p, o.Seed, nil)
+				} else {
+					zs[ui] = runStencilFault(userCounts[ui], 1, p, o.Seed, &fault.Plan{Seed: o.Seed})
+				}
+			})
+			base, zero := make([]float64, len(userCounts)), make([]float64, len(userCounts))
+			for ui, users := range userCounts {
 				res.X = append(res.X, float64(users))
-				b := runStencilFault(users, 1, p, o.Seed, nil)
-				z := runStencilFault(users, 1, p, o.Seed, &fault.Plan{Seed: o.Seed})
-				base = append(base, b.elapsed.Millis())
-				zero = append(zero, z.elapsed.Millis())
+				b, z := bs[ui], zs[ui]
+				base[ui] = b.elapsed.Millis()
+				zero[ui] = z.elapsed.Millis()
 				ov := 0.0
 				if b.elapsed > 0 {
 					ov = 100 * (float64(z.elapsed) - float64(b.elapsed)) / float64(b.elapsed)
@@ -135,11 +144,20 @@ func init() {
 			}
 			const users = 8
 			p := faultStencilParams()
-			var base, crash []float64
-			for _, g := range []int{1, 2, 4} {
+			ghostCounts := []int{1, 2, 4}
+			type recoverPoint struct {
+				b, c   stencilResult
+				victim int
+				at     sim.Time
+			}
+			pts := make([]recoverPoint, len(ghostCounts))
+			// The crash time derives from the fault-free run's end time,
+			// so the two runs of one point stay sequential; the points
+			// themselves are independent.
+			o.points(len(ghostCounts), func(gi int) {
+				g := ghostCounts[gi]
 				ppn := users/2 + g
 				n := 2 * ppn
-				res.X = append(res.X, float64(g))
 				b := runStencilFault(users, g, p, o.Seed, nil)
 				ghosts, err := core.GhostRanks(machineFor(n, ppn), n, ppn, g)
 				if err != nil {
@@ -154,12 +172,18 @@ func init() {
 					Seed:    o.Seed,
 					Crashes: []fault.Crash{{Rank: victim, At: at}},
 				})
-				base = append(base, b.elapsed.Millis())
-				crash = append(crash, c.elapsed.Millis())
+				pts[gi] = recoverPoint{b: b, c: c, victim: victim, at: at}
+			})
+			base, crash := make([]float64, len(ghostCounts)), make([]float64, len(ghostCounts))
+			for gi, g := range ghostCounts {
+				res.X = append(res.X, float64(g))
+				pt := pts[gi]
+				base[gi] = pt.b.elapsed.Millis()
+				crash[gi] = pt.c.elapsed.Millis()
 				res.Notes = append(res.Notes, fmt.Sprintf(
 					"g=%d: victim=%d crash_at=%v bit_identical=%v reroutes=%d degraded_ops=%d failed=%d",
-					g, victim, at, sameGrids(b.interior, c.interior),
-					c.summary.Reroutes, c.degraded, c.summary.RanksFailed))
+					g, pt.victim, pt.at, sameGrids(pt.b.interior, pt.c.interior),
+					pt.c.summary.Reroutes, pt.c.degraded, pt.c.summary.RanksFailed))
 			}
 			res.Series = []Series{{Name: "Fault-free", Y: base}, {Name: "Ghost crash", Y: crash}}
 			return res
@@ -179,16 +203,23 @@ func init() {
 			rates := []float64{0, 0.01, 0.02, 0.05, 0.1}
 			res.X = append(res.X, rates...)
 			const procs = 8
-			for _, a := range []approach{origMPI(), threadAp(), casperAp(1)} {
-				var ys []float64
+			as := []approach{origMPI(), threadAp(), casperAp(1)}
+			ys := make([][]float64, len(as))
+			sums := make([][]mpi.WorldSummary, len(as))
+			for ai := range as {
+				ys[ai] = make([]float64, len(rates))
+				sums[ai] = make([]mpi.WorldSummary, len(rates))
+			}
+			o.grid(len(as), len(rates), func(ai, ri int) {
+				ys[ai][ri], sums[ai][ri] = runFaultSweep(as[ai], procs, rates[ri], o.Seed)
+			})
+			for ai, a := range as {
 				var retrans, dups int64
-				for _, rate := range rates {
-					ms, sum := runFaultSweep(a, procs, rate, o.Seed)
-					ys = append(ys, ms)
-					retrans += sum.Retransmits
-					dups += sum.DupsSuppressed
+				for ri := range rates {
+					retrans += sums[ai][ri].Retransmits
+					dups += sums[ai][ri].DupsSuppressed
 				}
-				res.Series = append(res.Series, Series{Name: a.name, Y: ys})
+				res.Series = append(res.Series, Series{Name: a.name, Y: ys[ai]})
 				res.Notes = append(res.Notes, fmt.Sprintf(
 					"%s: retransmits=%d dups_suppressed=%d across sweep",
 					a.name, retrans, dups))

@@ -1,0 +1,52 @@
+package bench
+
+import (
+	"runtime"
+	"time"
+
+	"repro/internal/mpi"
+)
+
+// Measurement is one timed experiment run: the wall-clock cost of
+// simulating, with the simulator's own throughput counters. Events come
+// from mpi.TotalEventsExecuted deltas (every World.Run adds its
+// engine's executed-event count), allocations from runtime.MemStats
+// Mallocs deltas — both process-wide, so measure one run at a time.
+type Measurement struct {
+	Experiment     string  `json:"experiment"`
+	Parallel       int     `json:"parallel"`
+	WallSeconds    float64 `json:"wall_seconds"`
+	Events         int64   `json:"events"`
+	EventsPerSec   float64 `json:"events_per_sec"`
+	Mallocs        uint64  `json:"mallocs"`
+	AllocsPerEvent float64 `json:"allocs_per_event"`
+	CSV            string  `json:"-"` // rendered output, for bit-identity checks
+}
+
+// Measure runs the experiment once under o and returns its measurement.
+func Measure(e Experiment, o Options) Measurement {
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	ev0 := mpi.TotalEventsExecuted()
+	t0 := time.Now()
+	res := e.Run(o)
+	wall := time.Since(t0).Seconds()
+	events := mpi.TotalEventsExecuted() - ev0
+	runtime.ReadMemStats(&after)
+	m := Measurement{
+		Experiment:  e.ID,
+		Parallel:    o.Parallel,
+		WallSeconds: wall,
+		Events:      events,
+		Mallocs:     after.Mallocs - before.Mallocs,
+		CSV:         res.CSV(),
+	}
+	if wall > 0 {
+		m.EventsPerSec = float64(events) / wall
+	}
+	if events > 0 {
+		m.AllocsPerEvent = float64(m.Mallocs) / float64(events)
+	}
+	return m
+}

@@ -107,29 +107,28 @@ func runFig3a(o Options) *Result {
 	}
 	series := make([]Series, len(configs))
 	for ci := range configs {
-		series[ci].Name = configs[ci].name
+		series[ci] = Series{Name: configs[ci].name, Y: make([]float64, len(xs))}
 	}
-	for _, n := range xs {
-		for ci, cfg := range configs {
-			var el sim.Duration
-			body := func(env mpi.Env) {
-				c := env.CommWorld()
-				start := env.Now()
-				env.WinAllocate(c, 4096, cfg.info)
-				if env.Rank() == 0 {
-					el = env.Now().Sub(start)
-				}
-				c.Barrier()
+	o.grid(len(xs), len(configs), func(xi, ci int) {
+		n, cfg := xs[xi], configs[ci]
+		var el sim.Duration
+		body := func(env mpi.Env) {
+			c := env.CommWorld()
+			start := env.Now()
+			env.WinAllocate(c, 4096, cfg.info)
+			if env.Rank() == 0 {
+				el = env.Now().Sub(start)
 			}
-			if ci == 0 {
-				runPlain(worldConfig(netmodel.CrayXC30(), n, n, mpi.ProgressNone, false, o.Seed), body)
-			} else {
-				mcfg := worldConfig(netmodel.CrayXC30(), n+1, n+1, mpi.ProgressNone, false, o.Seed)
-				runCasper(mcfg, core.Config{NumGhosts: 1}, body)
-			}
-			series[ci].Y = append(series[ci].Y, el.Micros())
+			c.Barrier()
 		}
-	}
+		if ci == 0 {
+			runPlain(worldConfig(netmodel.CrayXC30(), n, n, mpi.ProgressNone, false, o.Seed), body)
+		} else {
+			mcfg := worldConfig(netmodel.CrayXC30(), n+1, n+1, mpi.ProgressNone, false, o.Seed)
+			runCasper(mcfg, core.Config{NumGhosts: 1}, body)
+		}
+		series[ci].Y[xi] = el.Micros()
+	})
 	res.Series = series
 	return res
 }
@@ -175,16 +174,25 @@ func runFig3b(o Options) *Result {
 		})
 		return t
 	}
-	var of, cf, op, cp, ovF, ovP []float64
-	for _, n := range ops {
-		a := fence(origMPI(), n)
-		b := fence(casperAp(1), n)
-		c := pscw(origMPI(), n)
-		d := pscw(casperAp(1), n)
-		of, cf = append(of, a), append(cf, b)
-		op, cp = append(op, c), append(cp, d)
-		ovF = append(ovF, 100*(b-a)/a)
-		ovP = append(ovP, 100*(d-c)/c)
+	n := len(ops)
+	of, cf := make([]float64, n), make([]float64, n)
+	op, cp := make([]float64, n), make([]float64, n)
+	ovF, ovP := make([]float64, n), make([]float64, n)
+	o.grid(n, 4, func(oi, mi int) {
+		switch mi {
+		case 0:
+			of[oi] = fence(origMPI(), ops[oi])
+		case 1:
+			cf[oi] = fence(casperAp(1), ops[oi])
+		case 2:
+			op[oi] = pscw(origMPI(), ops[oi])
+		case 3:
+			cp[oi] = pscw(casperAp(1), ops[oi])
+		}
+	})
+	for oi := range ops {
+		ovF[oi] = 100 * (cf[oi] - of[oi]) / of[oi]
+		ovP[oi] = 100 * (cp[oi] - op[oi]) / op[oi]
 	}
 	res.Series = []Series{
 		{Name: "Original Fence", Y: of},
@@ -217,21 +225,22 @@ func runFig4a(o Options) *Result {
 	}
 	res.X = toF(waits)
 	approaches := []approach{origMPI(), threadAp(), dmappAp(), casperAp(1)}
-	for _, a := range approaches {
-		var ys []float64
-		for _, wt := range waits {
-			wait := sim.Microseconds(float64(wt))
-			t, _ := run2(a, o.Seed, func(env mpi.Env, win mpi.Window) {
-				win.LockAll(mpi.AssertNone)
-				accOnce(win, 1, 1)
-				win.UnlockAll()
-			}, func(env mpi.Env, win mpi.Window) {
-				env.Compute(wait)
-			})
-			ys = append(ys, t)
-		}
-		res.Series = append(res.Series, Series{Name: a.name, Y: ys})
+	series := make([]Series, len(approaches))
+	for ai, a := range approaches {
+		series[ai] = Series{Name: a.name, Y: make([]float64, len(waits))}
 	}
+	o.grid(len(approaches), len(waits), func(ai, wi int) {
+		wait := sim.Microseconds(float64(waits[wi]))
+		t, _ := run2(approaches[ai], o.Seed, func(env mpi.Env, win mpi.Window) {
+			win.LockAll(mpi.AssertNone)
+			accOnce(win, 1, 1)
+			win.UnlockAll()
+		}, func(env mpi.Env, win mpi.Window) {
+			env.Compute(wait)
+		})
+		series[ai].Y[wi] = t
+	})
+	res.Series = series
 	return res
 }
 
@@ -256,30 +265,30 @@ func runFig4b(o Options) *Result {
 	res.X = toF(ops)
 	delay := sim.Microseconds(100)
 	approaches := []approach{origMPI(), threadAp(), dmappAp(), casperAp(1)}
-	times := map[string][]float64{}
-	for _, a := range approaches {
-		for _, n := range ops {
-			n := n
-			t, _ := run2(a, o.Seed, func(env mpi.Env, win mpi.Window) {
-				win.Fence(mpi.ModeNoPrecede)
-				accOnce(win, 1, n)
-				win.Fence(mpi.ModeNoSucceed)
-			}, func(env mpi.Env, win mpi.Window) {
-				win.Fence(mpi.ModeNoPrecede)
-				env.Compute(delay)
-				win.Fence(mpi.ModeNoSucceed)
-			})
-			times[a.name] = append(times[a.name], t)
-		}
+	times := make([][]float64, len(approaches))
+	for ai := range times {
+		times[ai] = make([]float64, len(ops))
 	}
-	for _, a := range approaches {
-		res.Series = append(res.Series, Series{Name: a.name, Y: times[a.name]})
+	o.grid(len(approaches), len(ops), func(ai, oi int) {
+		n := ops[oi]
+		t, _ := run2(approaches[ai], o.Seed, func(env mpi.Env, win mpi.Window) {
+			win.Fence(mpi.ModeNoPrecede)
+			accOnce(win, 1, n)
+			win.Fence(mpi.ModeNoSucceed)
+		}, func(env mpi.Env, win mpi.Window) {
+			win.Fence(mpi.ModeNoPrecede)
+			env.Compute(delay)
+			win.Fence(mpi.ModeNoSucceed)
+		})
+		times[ai][oi] = t
+	})
+	for ai, a := range approaches {
+		res.Series = append(res.Series, Series{Name: a.name, Y: times[ai]})
 	}
-	var imp []float64
+	imp := make([]float64, len(ops))
 	for i := range ops {
-		o := times["Original MPI"][i]
-		c := times["Casper"][i]
-		imp = append(imp, 100*(o-c)/o)
+		orig, csp := times[0][i], times[3][i]
+		imp[i] = 100 * (orig - csp) / orig
 	}
 	res.Series = append(res.Series, Series{Name: "Casper improvement %", Y: imp})
 	return res
@@ -315,28 +324,31 @@ func runFig4c(o Options) *Result {
 		{"DMAPP", dmappAp()},
 		{"Casper", casperAp(1)},
 	}
-	var interrupts []float64
-	for ri, rw := range rows {
-		var ys []float64
-		for _, n := range ops {
-			n := n
-			t, w := run2(rw.a, o.Seed, func(env mpi.Env, win mpi.Window) {
-				win.LockAll(mpi.AssertNone)
-				accOnce(win, 1, n)
-				win.UnlockAll()
-			}, func(env mpi.Env, win mpi.Window) {
-				env.Compute(dgemm)
-			})
-			ys = append(ys, t)
-			if ri == 1 { // DMAPP: count target interrupts
-				var total int64
-				for i := 0; i < w.Config().N; i++ {
-					total += w.RankByID(i).Stats().Interrupts
-				}
-				interrupts = append(interrupts, float64(total))
+	ys := make([][]float64, len(rows))
+	for ri := range ys {
+		ys[ri] = make([]float64, len(ops))
+	}
+	interrupts := make([]float64, len(ops))
+	o.grid(len(rows), len(ops), func(ri, oi int) {
+		n := ops[oi]
+		t, w := run2(rows[ri].a, o.Seed, func(env mpi.Env, win mpi.Window) {
+			win.LockAll(mpi.AssertNone)
+			accOnce(win, 1, n)
+			win.UnlockAll()
+		}, func(env mpi.Env, win mpi.Window) {
+			env.Compute(dgemm)
+		})
+		ys[ri][oi] = t
+		if ri == 1 { // DMAPP: count target interrupts
+			var total int64
+			for i := 0; i < w.Config().N; i++ {
+				total += w.RankByID(i).Stats().Interrupts
 			}
+			interrupts[oi] = float64(total)
 		}
-		res.Series = append(res.Series, Series{Name: rw.name, Y: ys})
+	})
+	for ri, rw := range rows {
+		res.Series = append(res.Series, Series{Name: rw.name, Y: ys[ri]})
 	}
 	res.Series = append(res.Series, Series{Name: "System interrupts", Y: interrupts})
 	return res

@@ -63,14 +63,16 @@ func nwchemExperiment(id, figure, title string, tileSize int, phase tce.Phase) {
 			for _, n := range nodeCounts {
 				res.X = append(res.X, float64(n*coresPerNode))
 			}
-			for _, d := range tceDeployments() {
-				var ys []float64
-				for _, nodes := range nodeCounts {
-					p := tceParamsFor(nodes, tileSize, phase)
-					ys = append(ys, runNWChem(d, nodes, p, o.Seed))
-				}
-				res.Series = append(res.Series, Series{Name: d.Name, Y: ys})
+			deps := tceDeployments()
+			series := make([]Series, len(deps))
+			for di, d := range deps {
+				series[di] = Series{Name: d.Name, Y: make([]float64, len(nodeCounts))}
 			}
+			o.grid(len(deps), len(nodeCounts), func(di, ni int) {
+				p := tceParamsFor(nodeCounts[ni], tileSize, phase)
+				series[di].Y[ni] = runNWChem(deps[di], nodeCounts[ni], p, o.Seed)
+			})
+			res.Series = series
 			return res
 		},
 	})

@@ -192,36 +192,56 @@ func runOverloadExperiment(o Options) *Result {
 		YLabel: "ms",
 		X:      toF(skews),
 	}
-	static := Series{Name: "Static binding"}
-	adaptive := Series{Name: "Adaptive rebinding"}
+	static := Series{Name: "Static binding", Y: make([]float64, len(skews))}
+	adaptive := Series{Name: "Adaptive rebinding", Y: make([]float64, len(skews))}
+
+	// Each skew point runs a static and an adaptive configuration; one
+	// extra point is the unprotected (no flow control) comparison at
+	// maximum skew. All are independent worlds, so they run through the
+	// sweep harness; only the per-point records below are written
+	// concurrently, each to its own slot.
+	type cell struct {
+		elapsed    sim.Duration
+		peak       int
+		migrations int64
+	}
+	staticC := make([]cell, len(skews))
+	adaptiveC := make([]cell, len(skews))
+	var peakUnbounded int
+	o.points(2*len(skews)+1, func(i int) {
+		if i == 2*len(skews) {
+			// Unprotected comparison point: no flow control at maximum skew.
+			wu, _ := runOverload(overloadParamsFor(o, skews[len(skews)-1]), o.Seed, nil, nil)
+			peakUnbounded = overloadGhostPeakDepth(wu)
+			return
+		}
+		si, adaptiveRun := i/2, i%2 == 1
+		p := overloadParamsFor(o, skews[si])
+		if adaptiveRun {
+			wa, ea := runOverload(p, o.Seed, flow, overloadRebalance())
+			adaptiveC[si] = cell{ea, overloadGhostPeakDepth(wa), overloadMigrations(wa)}
+		} else {
+			ws, es := runOverload(p, o.Seed, flow, nil)
+			staticC[si] = cell{elapsed: es, peak: overloadGhostPeakDepth(ws)}
+		}
+	})
 
 	var staticT, adaptiveT []sim.Duration
 	var peakStatic, peakAdaptive int
-	var migrations int64
-	for _, skew := range skews {
-		p := overloadParamsFor(o, skew)
-		ws, es := runOverload(p, o.Seed, flow, nil)
-		staticT = append(staticT, es)
-		static.Y = append(static.Y, es.Millis())
-		if d := overloadGhostPeakDepth(ws); d > peakStatic {
-			peakStatic = d
+	for si := range skews {
+		staticT = append(staticT, staticC[si].elapsed)
+		adaptiveT = append(adaptiveT, adaptiveC[si].elapsed)
+		static.Y[si] = staticC[si].elapsed.Millis()
+		adaptive.Y[si] = adaptiveC[si].elapsed.Millis()
+		if staticC[si].peak > peakStatic {
+			peakStatic = staticC[si].peak
 		}
-
-		wa, ea := runOverload(p, o.Seed, flow, overloadRebalance())
-		adaptiveT = append(adaptiveT, ea)
-		adaptive.Y = append(adaptive.Y, ea.Millis())
-		if d := overloadGhostPeakDepth(wa); d > peakAdaptive {
-			peakAdaptive = d
-		}
-		if skew == skews[len(skews)-1] {
-			migrations = overloadMigrations(wa)
+		if adaptiveC[si].peak > peakAdaptive {
+			peakAdaptive = adaptiveC[si].peak
 		}
 	}
+	migrations := adaptiveC[len(skews)-1].migrations
 	res.Series = []Series{static, adaptive}
-
-	// Unprotected comparison point: no flow control at maximum skew.
-	wu, _ := runOverload(overloadParamsFor(o, skews[len(skews)-1]), o.Seed, nil, nil)
-	peakUnbounded := overloadGhostPeakDepth(wu)
 
 	maxI := len(skews) - 1
 	gap := staticT[maxI] - staticT[0]

@@ -1,0 +1,72 @@
+package bench
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Parallel sweep execution. Every sweep point of every experiment is an
+// independent deterministic simulation — its own sim.Engine, World, and
+// RNG — so points can run on all OS cores at once without perturbing
+// results: each point writes only its own index in the preallocated
+// result slices, and the rendered output is assembled in index order,
+// bit-identical to a serial run (the determinism regression in
+// determinism_test.go holds this invariant).
+
+// points runs fn(i) for every i in [0,n), across min(o.Parallel, n)
+// worker goroutines (serially when o.Parallel <= 1). fn must be safe to
+// run concurrently with other indices and must confine its writes to
+// index-i slots. A panic in any point is re-raised on the caller after
+// all workers drain, preserving the experiments' panic-on-error
+// convention.
+func (o Options) points(n int, fn func(i int)) {
+	par := o.Parallel
+	if par > n {
+		par = n
+	}
+	if par <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var panicked bool
+	var panicVal interface{}
+	wg.Add(par)
+	for w := 0; w < par; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							mu.Lock()
+							if !panicked {
+								panicked, panicVal = true, r
+							}
+							mu.Unlock()
+						}
+					}()
+					fn(i)
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked {
+		panic(panicVal)
+	}
+}
+
+// grid runs fn(r, c) for every cell of a rows x cols sweep grid through
+// points — the common "approaches x sweep values" shape.
+func (o Options) grid(rows, cols int, fn func(r, c int)) {
+	o.points(rows*cols, func(i int) { fn(i/cols, i%cols) })
+}

@@ -118,13 +118,15 @@ func scalingExperiment(id, figure, title string, kind mpi.OpKind,
 				XLabel: "processes_ppn1", YLabel: "ms",
 			}
 			res.X = toF(procs)
-			for _, a := range approaches() {
-				var ys []float64
-				for _, p := range procs {
-					ys = append(ys, runScaling(a, kind, p, o.Seed))
-				}
-				res.Series = append(res.Series, Series{Name: a.name, Y: ys})
+			as := approaches()
+			series := make([]Series, len(as))
+			for ai, a := range as {
+				series[ai] = Series{Name: a.name, Y: make([]float64, len(procs))}
 			}
+			o.grid(len(as), len(procs), func(ai, pi int) {
+				series[ai].Y[pi] = runScaling(as[ai], kind, procs[pi], o.Seed)
+			})
+			res.Series = series
 			return res
 		},
 	})

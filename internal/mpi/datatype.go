@@ -329,8 +329,21 @@ func combineI64(op Op, d, s int64) int64 {
 
 // accumulate applies src (packed, contiguous) onto the target buffer at
 // disp with layout d, element-by-element with op. For OpReplace this is a
-// datatype-scattered put.
+// datatype-scattered put; replace carries no element arithmetic, so each
+// block moves with one copy instead of a per-element loop (and a fully
+// contiguous type is a single memmove).
 func accumulate(op Op, d Datatype, target []byte, disp int, src []byte) {
+	if op == OpNoOp {
+		return
+	}
+	if op == OpReplace {
+		si := 0
+		d.Blocks(func(off, n int) {
+			copy(target[disp+off:disp+off+n], src[si:si+n])
+			si += n
+		})
+		return
+	}
 	es := d.Basic.Size()
 	si := 0
 	d.Blocks(func(off, n int) {
@@ -345,12 +358,24 @@ func accumulate(op Op, d Datatype, target []byte, disp int, src []byte) {
 // contiguous buffer (the Get path).
 func gather(d Datatype, target []byte, disp int) []byte {
 	out := make([]byte, d.Size())
+	gatherInto(out, d, target, disp)
+	return out
+}
+
+// gatherPooled is gather into a recycled buffer from pool; the caller
+// returns it via pool.put when the op reaches its terminal state.
+func gatherPooled(d Datatype, target []byte, disp int, pool *bufPool) []byte {
+	out := pool.get(d.Size())
+	gatherInto(out, d, target, disp)
+	return out
+}
+
+func gatherInto(out []byte, d Datatype, target []byte, disp int) {
 	oi := 0
 	d.Blocks(func(off, n int) {
 		copy(out[oi:oi+n], target[disp+off:disp+off+n])
 		oi += n
 	})
-	return out
 }
 
 // PutFloat64s encodes a float64 slice into bytes (little endian), the

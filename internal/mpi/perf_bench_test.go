@@ -1,0 +1,134 @@
+package mpi
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/netmodel"
+)
+
+// Go micro-benchmarks for the message-path hot spots the perf baseline
+// tracks (see EXPERIMENTS.md, "Performance methodology"). ns/op and
+// allocs/op here are wall-clock costs of simulating, not simulated
+// time.
+
+func benchConfig(n, ppn int) Config {
+	return Config{
+		Machine: cluster.Machine{Nodes: (n + ppn - 1) / ppn, CoresPerNode: 24, NUMAPerNode: 2},
+		N:       n,
+		PPN:     ppn,
+		Net:     netmodel.CrayXC30(),
+		Seed:    1,
+	}
+}
+
+// BenchmarkPingPong runs a two-rank put/flush ping-pong over a full
+// world per iteration batch: the per-op figure includes issue, wire,
+// target service, ack, and flush — the whole simulated message path.
+func BenchmarkPingPong(b *testing.B) {
+	for _, size := range []int{8, 4096} {
+		b.Run(fmt.Sprintf("put%d", size), func(b *testing.B) {
+			b.ReportAllocs()
+			const batch = 256
+			rounds := (b.N + batch - 1) / batch
+			buf := make([]byte, size)
+			dt := TypeOf(Byte, size)
+			for r := 0; r < rounds; r++ {
+				_, err := Run(benchConfig(2, 1), func(rk *Rank) {
+					c := rk.CommWorld()
+					win, _ := rk.WinAllocate(c, size, nil)
+					c.Barrier()
+					if rk.Rank() == 0 {
+						win.Lock(1, LockShared, AssertNone)
+						for i := 0; i < batch; i++ {
+							win.Put(buf, 1, 0, dt)
+							win.Flush(1)
+						}
+						win.Unlock(1)
+					}
+					c.Barrier()
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(batch*rounds)/float64(b.N), "ops/iter")
+		})
+	}
+}
+
+// BenchmarkAccumulate is BenchmarkPingPong for the software-AM path:
+// accumulates always need target-side service, so this exercises the
+// progress engine, the serial server, and the payload pooling.
+func BenchmarkAccumulate(b *testing.B) {
+	b.ReportAllocs()
+	const batch = 256
+	rounds := (b.N + batch - 1) / batch
+	one := PutFloat64s([]float64{1})
+	for r := 0; r < rounds; r++ {
+		_, err := Run(benchConfig(2, 1), func(rk *Rank) {
+			c := rk.CommWorld()
+			win, _ := rk.WinAllocate(c, 64, nil)
+			c.Barrier()
+			if rk.Rank() == 0 {
+				win.Lock(1, LockShared, AssertNone)
+				for i := 0; i < batch; i++ {
+					win.Accumulate(one, 1, 0, Scalar(Float64), OpSum)
+				}
+				win.Flush(1)
+				win.Unlock(1)
+			}
+			c.Barrier()
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDatatypePack measures the apply-path datatype engine:
+// contiguous replace (the new single-memmove fast path), strided
+// replace, and elementwise accumulate.
+func BenchmarkDatatypePack(b *testing.B) {
+	const elems = 512
+	target := make([]byte, elems*8*2)
+	src := make([]byte, elems*8)
+	cases := []struct {
+		name string
+		dt   Datatype
+		op   Op
+	}{
+		{"contig-replace", TypeOf(Float64, elems), OpReplace},
+		{"vector-replace", Vector(Float64, elems/4, 4, 8), OpReplace},
+		{"contig-sum", TypeOf(Float64, elems), OpSum},
+		{"indexed-replace", Indexed(Float64, 2, evenOffsets(elems/2)), OpReplace},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(int64(tc.dt.Size()))
+			for i := 0; i < b.N; i++ {
+				accumulate(tc.op, tc.dt, target, 0, src)
+			}
+		})
+	}
+	b.Run("gather-contig", func(b *testing.B) {
+		b.ReportAllocs()
+		dt := TypeOf(Float64, elems)
+		b.SetBytes(int64(dt.Size()))
+		var pool bufPool
+		for i := 0; i < b.N; i++ {
+			out := gatherPooled(dt, target, 0, &pool)
+			pool.put(out)
+		}
+	})
+}
+
+func evenOffsets(blocks int) []int {
+	out := make([]int, blocks)
+	for i := range out {
+		out[i] = i * 4
+	}
+	return out
+}

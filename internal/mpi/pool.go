@@ -1,0 +1,75 @@
+package mpi
+
+// bufPool is a size-classed free list for the transient byte buffers of
+// the RMA message path: the packed origin payload copied at issue time
+// and the result buffer gathered at apply time. Both have a precisely
+// bounded lifetime — from issue to the op's terminal state — so they
+// recycle through the pool instead of pressuring the garbage collector
+// once per operation.
+//
+// The pool is per-World: a world runs on one goroutine (the strict
+// alternation of the simulation engine), so no locking is needed, and
+// parallel sweep runs in separate worlds never share buffers. Buffers
+// are handed out at exact request length over power-of-two capacity
+// classes; callers always overwrite the full length, so stale contents
+// can never leak into results.
+type bufPool struct {
+	classes [poolClasses][][]byte
+}
+
+const (
+	poolMinShift   = 4 // smallest class: 16 bytes
+	poolClasses    = 17
+	poolMaxSize    = 1 << (poolMinShift + poolClasses - 1) // 1 MiB
+	poolClassLimit = 256                                   // buffers retained per class
+)
+
+// classFor returns the class index whose capacity is the smallest
+// power-of-two >= n, or -1 when n is outside the pooled range.
+func classFor(n int) int {
+	if n <= 0 || n > poolMaxSize {
+		return -1
+	}
+	c := 0
+	for size := 1 << poolMinShift; size < n; size <<= 1 {
+		c++
+	}
+	return c
+}
+
+// get returns a buffer of length n. Contents are unspecified — the
+// caller must overwrite all n bytes.
+func (p *bufPool) get(n int) []byte {
+	c := classFor(n)
+	if c < 0 {
+		if n <= 0 {
+			return nil
+		}
+		return make([]byte, n)
+	}
+	free := p.classes[c]
+	if len(free) == 0 {
+		return make([]byte, n, 1<<(poolMinShift+c))
+	}
+	buf := free[len(free)-1]
+	free[len(free)-1] = nil
+	p.classes[c] = free[:len(free)-1]
+	return buf[:n]
+}
+
+// put recycles a buffer obtained from get. Buffers whose capacity is
+// not an exact class size (or nil) are dropped to the garbage
+// collector; full classes likewise.
+func (p *bufPool) put(b []byte) {
+	if b == nil {
+		return
+	}
+	c := classFor(cap(b))
+	if c < 0 || cap(b) != 1<<(poolMinShift+c) {
+		return
+	}
+	if len(p.classes[c]) >= poolClassLimit {
+		return
+	}
+	p.classes[c] = append(p.classes[c], b)
+}

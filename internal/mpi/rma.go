@@ -198,7 +198,12 @@ func (w *Win) issue(op *rmaOp) {
 	w.opSeq++
 	op.seq = w.opSeq
 	if op.data != nil {
-		op.data = append([]byte(nil), op.data[:op.dt.Size()]...)
+		// Pool the packed payload copy: it lives exactly until the op's
+		// terminal state (opTerminal), where it is recycled.
+		n := op.dt.Size()
+		buf := r.w.pool.get(n)
+		copy(buf, op.data[:n])
+		op.data = buf
 	}
 	if op.cmp != nil {
 		op.cmp = append([]byte(nil), op.cmp...)
@@ -317,22 +322,24 @@ func (o *rmaOp) apply() bool {
 	}
 	mem := reg.seg.data
 	base := reg.off + disp
+	pool := &o.win.w.pool
 	switch o.kind {
 	case KindPut:
 		accumulate(OpReplace, o.dt, mem, base, o.data)
 	case KindGet:
-		o.result = gather(o.dt, mem, base)
+		o.result = gatherPooled(o.dt, mem, base, pool)
 	case KindAcc:
 		accumulate(o.op, o.dt, mem, base, o.data)
 	case KindGetAcc:
-		o.result = gather(o.dt, mem, base)
+		o.result = gatherPooled(o.dt, mem, base, pool)
 		accumulate(o.op, o.dt, mem, base, o.data)
 	case KindFetchOp:
-		o.result = gather(o.dt, mem, base)
+		o.result = gatherPooled(o.dt, mem, base, pool)
 		accumulate(o.op, o.dt, mem, base, o.data)
 	case KindCAS:
 		es := o.dt.Basic.Size()
-		o.result = append([]byte(nil), mem[base:base+es]...)
+		o.result = pool.get(es)
+		copy(o.result, mem[base:base+es])
 		if bytesEqual(o.result, o.cmp[:es]) {
 			copy(mem[base:base+es], o.data[:es])
 		}
@@ -436,12 +443,20 @@ func (o *rmaOp) ack() {
 // opTerminal runs exactly once per op that passed issue-time
 // validation, when it reaches its terminal state (ack delivered at the
 // origin, abandoned by the transport, or dropped on credit timeout):
-// it returns the flow-control credit and notifies the op observer.
-// Runs in engine context.
+// it returns the flow-control credit, recycles the op's pooled
+// buffers, and notifies the op observer. Runs in engine context.
 func (g *winGlobal) opTerminal(o *rmaOp) {
 	if o.credit != nil {
 		o.credit.release()
 		o.credit = nil
+	}
+	if o.data != nil {
+		g.w.pool.put(o.data)
+		o.data = nil
+	}
+	if o.result != nil {
+		g.w.pool.put(o.result)
+		o.result = nil
 	}
 	if g.onOpDone != nil {
 		g.onOpDone(o.origin, o.target, o.disp)

@@ -2,6 +2,7 @@ package mpi
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/cluster"
 	"repro/internal/fault"
@@ -9,6 +10,16 @@ import (
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
+
+// worldEvents accumulates simulation events executed by every World.Run
+// in the process, across goroutines — the perf baseline's events/sec
+// and allocs/event metrics are computed from deltas of this counter
+// (see internal/bench.Measure and EXPERIMENTS.md).
+var worldEvents atomic.Int64
+
+// TotalEventsExecuted returns the simulation events executed by all
+// completed World.Run calls in this process.
+func TotalEventsExecuted() int64 { return worldEvents.Load() }
 
 // ProgressMode selects the asynchronous progress baseline configured for
 // every rank of a world. Casper is not a mode: it is a library layered on
@@ -104,6 +115,9 @@ type World struct {
 	// shared holds world-global state for layered runtimes (keyed
 	// singletons in the single simulated address space).
 	shared map[string]interface{}
+
+	// pool recycles transient RMA message-path buffers (see pool.go).
+	pool bufPool
 
 	// Fault-injection state; all nil/zero without a Config.Fault plan.
 	inj         *fault.Injector
@@ -238,7 +252,11 @@ func (r *Rank) Failed() bool { return r.failed }
 func (w *World) FailedCount() int { return w.failedCount }
 
 // Run executes the simulation to completion.
-func (w *World) Run() error { return w.eng.Run() }
+func (w *World) Run() error {
+	err := w.eng.Run()
+	worldEvents.Add(w.eng.EventsExecuted())
+	return err
+}
 
 // Run is the convenience harness: build a world, run main on every rank,
 // and return the world for inspection.

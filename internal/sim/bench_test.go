@@ -1,0 +1,67 @@
+package sim
+
+import "testing"
+
+// BenchmarkEventLoop measures the raw event-loop hot path: an engine
+// executing a long chain of timer events with a pair of processes
+// ping-ponging through park/resume. ns/op and allocs/op are per
+// *event*, the unit every simulated microsecond of every experiment
+// pays. The perf baseline in BENCH_*.json tracks this number; see
+// EXPERIMENTS.md ("Performance methodology").
+func BenchmarkEventLoop(b *testing.B) {
+	b.Run("timers", func(b *testing.B) {
+		b.ReportAllocs()
+		e := New(1)
+		n := 0
+		var tick func()
+		tick = func() {
+			n++
+			if n < b.N {
+				e.After(Microsecond, tick)
+			}
+		}
+		e.At(0, tick)
+		e.MustRun()
+		if n != b.N && b.N > 0 {
+			b.Fatalf("executed %d ticks, want %d", n, b.N)
+		}
+	})
+	// Two processes alternating via Advance: every iteration is one
+	// park + one resume, the context-switch path of every simulated
+	// MPI call.
+	b.Run("advance", func(b *testing.B) {
+		b.ReportAllocs()
+		e := New(1)
+		body := func(p *Proc) {
+			for i := 0; i < b.N; i++ {
+				p.Advance(Microsecond)
+			}
+		}
+		e.Spawn("a", body)
+		e.Spawn("b", body)
+		e.MustRun()
+	})
+	// Signal wait/broadcast round trips: the synchronization primitive
+	// under every blocking MPI call in the runtime.
+	b.Run("signal", func(b *testing.B) {
+		b.ReportAllocs()
+		e := New(1)
+		var sig Signal
+		turn := 0
+		e.Spawn("waiter", func(p *Proc) {
+			for i := 0; i < b.N; i++ {
+				for turn <= i {
+					sig.Wait(p, "turn")
+				}
+			}
+		})
+		e.Spawn("waker", func(p *Proc) {
+			for i := 0; i < b.N; i++ {
+				p.Advance(Microsecond)
+				turn++
+				sig.Broadcast()
+			}
+		})
+		e.MustRun()
+	})
+}

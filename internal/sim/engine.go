@@ -13,7 +13,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -63,6 +62,17 @@ func (t Time) Sub(u Time) Duration { return Duration(t - u) }
 // Microseconds builds a Duration from a floating-point microsecond count.
 func Microseconds(us float64) Duration { return Duration(us * 1e3) }
 
+// eventKind discriminates the event payload, letting the hot resume
+// paths (Advance, wake, Spawn start) carry a *Proc directly instead of
+// allocating a closure per event.
+type eventKind uint8
+
+const (
+	evFn     eventKind = iota // run fn
+	evResume                  // resume a parked process
+	evStart                   // first activation of a spawned process
+)
+
 // event is a scheduled callback. Events at equal times fire in scheduling
 // order (seq) so runs are deterministic. Background events (bg) are
 // housekeeping — heartbeats, retransmission timers, fault schedules —
@@ -70,30 +80,85 @@ func Microseconds(us float64) Duration { return Duration(us * 1e3) }
 // terminated they are discarded without executing or advancing the
 // clock, so enabling such machinery never changes a run's end time.
 type event struct {
-	at  Time
-	seq uint64
-	fn  func()
-	bg  bool
+	at   Time
+	seq  uint64
+	fn   func() // evFn only
+	p    *Proc  // evResume/evStart only
+	kind eventKind
+	bg   bool
 }
 
-type eventHeap []event
+// eventHeap is a hand-rolled 4-ary min-heap over []event, ordered by
+// (at, seq). Unlike container/heap it never boxes an event into an
+// interface, so push/pop allocate nothing beyond amortized slice
+// growth, and the shallower tree halves the sift-down depth of the
+// binary version — this is the hottest data structure in the
+// repository (every simulated microsecond of every experiment flows
+// through it).
+type eventHeap struct {
+	a []event
+}
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func (h *eventHeap) len() int { return len(h.a) }
+
+func (h *eventHeap) less(i, j int) bool {
+	if h.a[i].at != h.a[j].at {
+		return h.a[i].at < h.a[j].at
 	}
-	return h[i].seq < h[j].seq
+	return h.a[i].seq < h.a[j].seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = event{}
-	*h = old[:n-1]
-	return ev
+
+func (h *eventHeap) push(ev event) {
+	h.a = append(h.a, ev)
+	i := len(h.a) - 1
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !h.less(i, parent) {
+			break
+		}
+		h.a[i], h.a[parent] = h.a[parent], h.a[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	a := h.a
+	top := a[0]
+	n := len(a) - 1
+	a[0] = a[n]
+	a[n] = event{} // clear fn/p so the recycled slot retains nothing
+	h.a = a[:n]
+	if n > 1 {
+		h.siftDown()
+	}
+	return top
+}
+
+func (h *eventHeap) siftDown() {
+	a := h.a
+	n := len(a)
+	i := 0
+	for {
+		first := 4*i + 1
+		if first >= n {
+			return
+		}
+		min := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if h.less(c, min) {
+				min = c
+			}
+		}
+		if !h.less(min, i) {
+			return
+		}
+		a[i], a[min] = a[min], a[i]
+		i = min
+	}
 }
 
 // Engine is a discrete-event simulator. Create one with New, spawn
@@ -125,9 +190,14 @@ type Engine struct {
 
 // New returns an Engine whose random source is seeded with seed, so that
 // any randomized model decisions are reproducible.
+//
+// The yield channel is a one-slot semaphore, not a rendezvous: strict
+// alternation guarantees at most one token is ever in flight, so a
+// deposit never blocks and every park/resume costs one blocking channel
+// operation instead of two (see transfer and Proc.park).
 func New(seed int64) *Engine {
 	return &Engine{
-		yield: make(chan struct{}),
+		yield: make(chan struct{}, 1),
 		rng:   rand.New(rand.NewSource(seed)),
 	}
 }
@@ -146,7 +216,14 @@ func (e *Engine) At(t Time, fn func()) {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
 	e.seq++
-	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn})
+	e.events.push(event{at: t, seq: e.seq, fn: fn})
+}
+
+// atResume schedules a closure-free resume of p at t (the Advance and
+// wake hot path).
+func (e *Engine) atResume(t Time, p *Proc) {
+	e.seq++
+	e.events.push(event{at: t, seq: e.seq, p: p, kind: evResume})
 }
 
 // After schedules fn to run d from now.
@@ -160,7 +237,7 @@ func (e *Engine) AtBG(t Time, fn func()) {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
 	e.seq++
-	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn, bg: true})
+	e.events.push(event{at: t, seq: e.seq, fn: fn, bg: true})
 }
 
 // AfterBG is AtBG relative to now.
@@ -223,11 +300,14 @@ func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
 
 // SpawnAt is Spawn with an explicit start time.
 func (e *Engine) SpawnAt(t Time, name string, fn func(p *Proc)) *Proc {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
 	p := &Proc{
 		eng:    e,
 		id:     len(e.procs),
 		name:   name,
-		resume: make(chan struct{}),
+		resume: make(chan struct{}, 1),
 		state:  stateNew,
 	}
 	e.procs = append(e.procs, p)
@@ -245,12 +325,8 @@ func (e *Engine) SpawnAt(t Time, name string, fn func(p *Proc)) *Proc {
 		<-p.resume
 		fn(p)
 	}()
-	e.At(t, func() {
-		if p.state == stateNew && !p.killed {
-			p.state = stateRunning
-			e.transfer(p)
-		}
-	})
+	e.seq++
+	e.events.push(event{at: t, seq: e.seq, p: p, kind: evStart})
 	return p
 }
 
@@ -327,8 +403,8 @@ func (e *Engine) stuckProcs() []string {
 // processes remain parked with no pending events, a *WatchdogError if a
 // SetWatchdog limit is exceeded, and nil otherwise.
 func (e *Engine) Run() error {
-	for e.events.Len() > 0 {
-		ev := heap.Pop(&e.events).(event)
+	for e.events.len() > 0 {
+		ev := e.events.pop()
 		if ev.bg && e.live <= 0 {
 			// Background housekeeping after the last process finished:
 			// discard without running or advancing the clock, so the
@@ -341,7 +417,22 @@ func (e *Engine) Run() error {
 		}
 		e.now = ev.at
 		e.executed++
-		ev.fn()
+		switch ev.kind {
+		case evFn:
+			ev.fn()
+		case evResume:
+			if p := ev.p; !p.killed {
+				if p.state != stateParked {
+					panic(fmt.Sprintf("sim: waking %s which is not parked", p.name))
+				}
+				e.transfer(p)
+			}
+		case evStart:
+			if p := ev.p; p.state == stateNew && !p.killed {
+				p.state = stateRunning
+				e.transfer(p)
+			}
+		}
 		if e.maxEvents > 0 && e.executed >= e.maxEvents {
 			return &WatchdogError{Time: e.now, Events: e.executed,
 				Limit: fmt.Sprintf("event limit %d", e.maxEvents), Stuck: e.stuckProcs(),
@@ -354,7 +445,8 @@ func (e *Engine) Run() error {
 		}
 		if e.stallEvents > 0 && e.executed-e.lastAdvanceExec >= e.stallEvents {
 			return &WatchdogError{Time: e.now, Events: e.executed,
-				Limit: fmt.Sprintf("stalled: %d events with no time advance", e.stallEvents),
+				Limit: fmt.Sprintf("stalled: %d events with no time advance since %v",
+					e.stallEvents, e.lastAdvance),
 				Stuck: e.stuckProcs(), Diagnostics: e.collectDiagnostics()}
 		}
 	}

@@ -49,7 +49,7 @@ func (p *Proc) Advance(d Duration) {
 		return
 	}
 	e := p.eng
-	e.At(e.now.Add(d), func() { e.transfer(p) })
+	e.atResume(e.now.Add(d), p)
 	p.park("advancing")
 }
 
@@ -62,7 +62,9 @@ func (p *Proc) AdvanceTo(t Time) {
 }
 
 // park blocks the process until something resumes it. reason appears in
-// deadlock reports.
+// deadlock reports. The yield deposit never blocks (one-slot semaphore
+// under strict alternation), so a park is a single blocking channel
+// operation.
 func (p *Proc) park(reason string) {
 	p.state = stateParked
 	p.parkReason = reason
@@ -75,18 +77,10 @@ func (p *Proc) park(reason string) {
 // wake schedules the parked process to resume at the current virtual
 // time. It must only be called on a process that is parked (or will
 // remain parked until the event fires), which the synchronization
-// primitives in this package guarantee.
+// primitives in this package guarantee — the engine's resume dispatch
+// panics otherwise.
 func (p *Proc) wake() {
-	e := p.eng
-	e.At(e.now, func() {
-		if p.killed {
-			return
-		}
-		if p.state != stateParked {
-			panic(fmt.Sprintf("sim: waking %s which is not parked", p.name))
-		}
-		e.transfer(p)
-	})
+	p.eng.atResume(p.eng.now, p)
 }
 
 // Killed reports whether Engine.Kill has terminated this process.
