@@ -37,6 +37,7 @@ func main() {
 		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "sweep worker goroutines (1 = serial)")
 		benchID    = flag.String("bench", "", "experiment id to benchmark serial vs -parallel")
 		benchOut   = flag.String("benchout", "", "write the -bench JSON baseline to this file (default stdout)")
+		allocGate  = flag.String("allocgate", "", "with -bench: fail if allocs/event exceeds this committed baseline JSON by more than 0.05")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write an allocation profile to this file")
 	)
@@ -81,7 +82,7 @@ func main() {
 		if !ok {
 			fatalf("casperbench: unknown experiment %q (try -list)", *benchID)
 		}
-		if err := runBench(e, opts, *benchOut); err != nil {
+		if err := runBench(e, opts, *benchOut, *allocGate); err != nil {
 			fatalf("casperbench: %v", err)
 		}
 	case *all:
@@ -114,20 +115,54 @@ func emit(e bench.Experiment, o bench.Options, csv bool) {
 // measurement of the same experiment plus derived comparisons, with
 // enough environment detail to interpret the numbers later.
 type baseline struct {
-	Experiment      string            `json:"experiment"`
-	Scale           float64           `json:"scale"`
-	Seed            int64             `json:"seed"`
-	GoVersion       string            `json:"go_version"`
-	GOOS            string            `json:"goos"`
-	GOARCH          string            `json:"goarch"`
-	GOMAXPROCS      int               `json:"gomaxprocs"`
-	Serial          bench.Measurement `json:"serial"`
-	Parallel        bench.Measurement `json:"parallel"`
-	ParallelSpeedup float64           `json:"parallel_speedup"`
-	OutputIdentical bool              `json:"output_identical"`
+	Experiment string            `json:"experiment"`
+	Scale      float64           `json:"scale"`
+	Seed       int64             `json:"seed"`
+	GoVersion  string            `json:"go_version"`
+	GOOS       string            `json:"goos"`
+	GOARCH     string            `json:"goarch"`
+	GOMAXPROCS int               `json:"gomaxprocs"`
+	Serial     bench.Measurement `json:"serial"`
+	Parallel   bench.Measurement `json:"parallel"`
+
+	// SpeedupExpected is false when the run cannot exhibit a parallel
+	// speedup — a single worker requested, or a single schedulable CPU —
+	// in which case ParallelSpeedup is omitted rather than reported as a
+	// misleading sub-1.0 ratio of two serial runs.
+	SpeedupExpected bool    `json:"speedup_expected"`
+	ParallelSpeedup float64 `json:"parallel_speedup,omitempty"`
+	OutputIdentical bool    `json:"output_identical"`
 }
 
-func runBench(e bench.Experiment, o bench.Options, out string) error {
+// allocGateSlack is how far allocs/event may drift above the committed
+// baseline before the gate fails. Allocation counts are deterministic
+// modulo GC-triggered map/slice growth timing, so the tolerance is
+// small but nonzero.
+const allocGateSlack = 0.05
+
+// checkAllocGate compares the serial measurement against a committed
+// baseline JSON and errors when allocs/event regressed by more than
+// allocGateSlack — the CI regression gate for the zero-alloc event loop.
+func checkAllocGate(path string, m bench.Measurement) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("allocgate: %w", err)
+	}
+	var base baseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("allocgate: parsing %s: %w", path, err)
+	}
+	limit := base.Serial.AllocsPerEvent + allocGateSlack
+	if m.AllocsPerEvent > limit {
+		return fmt.Errorf("allocgate: allocs/event %.4f exceeds baseline %.4f + %.2f slack (%s)",
+			m.AllocsPerEvent, base.Serial.AllocsPerEvent, allocGateSlack, path)
+	}
+	fmt.Fprintf(os.Stderr, "allocgate: ok — %.4f allocs/event vs baseline %.4f (+%.2f slack)\n",
+		m.AllocsPerEvent, base.Serial.AllocsPerEvent, allocGateSlack)
+	return nil
+}
+
+func runBench(e bench.Experiment, o bench.Options, out, gate string) error {
 	serial := o
 	serial.Parallel = 1
 	ms := bench.Measure(e, serial)
@@ -142,13 +177,19 @@ func runBench(e bench.Experiment, o bench.Options, out string) error {
 		GOMAXPROCS:      runtime.GOMAXPROCS(0),
 		Serial:          ms,
 		Parallel:        mp,
+		SpeedupExpected: o.Parallel > 1 && runtime.GOMAXPROCS(0) > 1,
 		OutputIdentical: ms.CSV == mp.CSV,
 	}
-	if mp.WallSeconds > 0 {
+	if b.SpeedupExpected && mp.WallSeconds > 0 {
 		b.ParallelSpeedup = ms.WallSeconds / mp.WallSeconds
 	}
 	if !b.OutputIdentical {
 		return fmt.Errorf("%s: parallel output differs from serial", e.ID)
+	}
+	if gate != "" {
+		if err := checkAllocGate(gate, ms); err != nil {
+			return err
+		}
 	}
 	enc, err := json.MarshalIndent(&b, "", "  ")
 	if err != nil {

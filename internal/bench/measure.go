@@ -18,6 +18,7 @@ type Measurement struct {
 	WallSeconds    float64 `json:"wall_seconds"`
 	Events         int64   `json:"events"`
 	EventsPerSec   float64 `json:"events_per_sec"`
+	InlinedEvents  int64   `json:"inlined_events"` // Advance calls completed inline (run-to-completion)
 	Mallocs        uint64  `json:"mallocs"`
 	AllocsPerEvent float64 `json:"allocs_per_event"`
 	CSV            string  `json:"-"` // rendered output, for bit-identity checks
@@ -29,18 +30,20 @@ func Measure(e Experiment, o Options) Measurement {
 	runtime.GC()
 	runtime.ReadMemStats(&before)
 	ev0 := mpi.TotalEventsExecuted()
+	in0 := mpi.TotalInlinedAdvances()
 	t0 := time.Now()
 	res := e.Run(o)
 	wall := time.Since(t0).Seconds()
 	events := mpi.TotalEventsExecuted() - ev0
 	runtime.ReadMemStats(&after)
 	m := Measurement{
-		Experiment:  e.ID,
-		Parallel:    o.Parallel,
-		WallSeconds: wall,
-		Events:      events,
-		Mallocs:     after.Mallocs - before.Mallocs,
-		CSV:         res.CSV(),
+		Experiment:    e.ID,
+		Parallel:      o.Parallel,
+		WallSeconds:   wall,
+		Events:        events,
+		InlinedEvents: mpi.TotalInlinedAdvances() - in0,
+		Mallocs:       after.Mallocs - before.Mallocs,
+		CSV:           res.CSV(),
 	}
 	if wall > 0 {
 		m.EventsPerSec = float64(events) / wall

@@ -181,7 +181,7 @@ func (p *Process) WinAllocate(comm *mpi.Comm, size int, info mpi.Info) (mpi.Wind
 		root:     root,
 		binding:  binding,
 		lb:       lb,
-		targets:  map[int]*ctarget{},
+		targets:  make([]*ctarget, comm.Size()),
 		nodeLB:   map[int][]lbCount{},
 		cmdKey:   string(cmd[1:]),
 	}

@@ -147,7 +147,7 @@ func (cw *casperWin) redirect(kind mpi.OpKind, t, disp int, dt mpi.Datatype,
 // returns the per-target state (nil for fence/PSCW epochs, which need
 // none).
 func (cw *casperWin) epochStateFor(t int) *ctarget {
-	if ts, ok := cw.targets[t]; ok && ts.locked {
+	if ts := cw.lookupTarget(t); ts != nil && ts.locked {
 		return ts
 	}
 	if cw.lockAllActive {
@@ -189,7 +189,8 @@ func (cw *casperWin) route(kind mpi.OpKind, t, disp int, dt mpi.Datatype,
 	if cw.p.d.cfg.UnsafeNoBinding {
 		// Ablation mode: ignore all correctness machinery.
 		g := ti.ghosts[cw.rng().Intn(len(ti.ghosts))]
-		return []piece{{ghost: g, disp: abs, dt: dt, src: src, dst: dst}}
+		cw.routeBuf = append(cw.routeBuf[:0], piece{ghost: g, disp: abs, dt: dt, src: src, dst: dst})
+		return cw.routeBuf
 	}
 
 	if cw.binding == BindSegment && (kind == mpi.KindPut || kind == mpi.KindGet ||
@@ -207,7 +208,8 @@ func (cw *casperWin) route(kind mpi.OpKind, t, disp int, dt mpi.Datatype,
 		cw.p.stats.Dynamic++
 	}
 	ghost = cw.progressTarget(ti, ghost)
-	return []piece{{ghost: ghost, disp: abs, dt: dt, src: src, dst: dst}}
+	cw.routeBuf = append(cw.routeBuf[:0], piece{ghost: ghost, disp: abs, dt: dt, src: src, dst: dst})
+	return cw.routeBuf
 }
 
 // dynamicEligible reports whether this op may be load-balanced away from
@@ -253,11 +255,15 @@ func (cw *casperWin) chooseDynamic(ti *tinfo) int {
 }
 
 func (cw *casperWin) lbCounts(ti *tinfo) []lbCount {
+	if ti.lbc != nil {
+		return ti.lbc
+	}
 	c, ok := cw.nodeLB[ti.node]
 	if !ok {
 		c = make([]lbCount, len(ti.ghosts))
 		cw.nodeLB[ti.node] = c
 	}
+	ti.lbc = c // cache on the target: counting stays per-node (shared slice)
 	return c
 }
 
@@ -296,7 +302,7 @@ func (cw *casperWin) splitBySegments(ti *tinfo, abs int, dt mpi.Datatype,
 	if abs%es != 0 {
 		panic(fmt.Sprintf("casper: segment binding requires %d-byte aligned displacement (got absolute offset %d)", es, abs))
 	}
-	var pieces []piece
+	pieces := cw.routeBuf[:0]
 	packed := 0 // index into the packed origin buffer
 	dt.Blocks(func(off, n int) {
 		lo := abs + off
@@ -350,6 +356,7 @@ func (cw *casperWin) splitBySegments(ti *tinfo, abs int, dt mpi.Datatype,
 		}
 		merged = append(merged, pc)
 	}
+	cw.routeBuf = merged // retain any growth for the next operation
 	return merged
 }
 

@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/mpi"
 )
@@ -33,13 +32,22 @@ type casperWin struct {
 	lockAllActive bool
 	accessGroup   []int
 	exposureGroup []int
-	targets       map[int]*ctarget
-	nodeLB        map[int][]lbCount
-	freed         bool
+	// targets holds per-target epoch state indexed by user comm rank;
+	// nil entries mean "untouched". A flat slice keeps the per-op epoch
+	// lookup off the map hash path.
+	targets []*ctarget
+	nodeLB  map[int][]lbCount
+	freed   bool
 
 	// Request-collection state for RPut/RGet.
 	collectReqs bool
 	collecting  []*mpi.RMARequest
+
+	// routeBuf is the scratch slice route() returns its pieces in. The
+	// pieces are consumed synchronously inside redirect() before the next
+	// route() call on this (per-rank) handle, so one buffer serves every
+	// operation without allocating.
+	routeBuf []piece
 
 	cmdKey string // creation command payload; keys the free protocol
 	cmdIdx int    // per-key creation index (windows may free in any order)
@@ -63,6 +71,8 @@ type tinfo struct {
 	lockWinIdx   int   // which overlapping window serves lock epochs to it
 	nodeTotal    int   // total user bytes exposed on its node
 	chunk        int   // segment-binding chunk size on its node (16-aligned)
+
+	lbc []lbCount // cached per-node LB counters (see lbCounts)
 }
 
 // ctarget is per-target epoch state at this origin.
@@ -141,12 +151,22 @@ func (cw *casperWin) buildLayout(mySize int, topo winTopology) {
 }
 
 func (cw *casperWin) target(t int) *ctarget {
-	ts, ok := cw.targets[t]
-	if !ok {
+	ts := cw.targets[t]
+	if ts == nil {
 		ts = &ctarget{}
 		cw.targets[t] = ts
 	}
 	return ts
+}
+
+// lookupTarget returns the existing per-target state, or nil when none
+// has been created (no allocation; out-of-range targets map to nil so
+// callers keep their own diagnostics).
+func (cw *casperWin) lookupTarget(t int) *ctarget {
+	if t < 0 || t >= len(cw.targets) {
+		return nil
+	}
+	return cw.targets[t]
 }
 
 // winFor returns the internal window carrying operations to target t
@@ -419,8 +439,8 @@ func (cw *casperWin) Lock(t int, lt mpi.LockType, assert mpi.Assert) {
 // Unlock closes the passive epoch: unlock every ghost (completing all
 // operations remotely).
 func (cw *casperWin) Unlock(t int) {
-	ts, ok := cw.targets[t]
-	if !ok || !ts.locked || ts.viaAll {
+	ts := cw.lookupTarget(t)
+	if ts == nil || !ts.locked || ts.viaAll {
 		panic(fmt.Sprintf("casper: Unlock of target %d without Lock", t))
 	}
 	w := cw.winFor(t, ts)
@@ -431,7 +451,7 @@ func (cw *casperWin) Unlock(t int) {
 	for _, g := range locked {
 		w.Unlock(g)
 	}
-	delete(cw.targets, t)
+	cw.targets[t] = nil
 	if cw.sh != nil {
 		cw.sh.lockHolds[t]--
 	}
@@ -455,9 +475,8 @@ func (cw *casperWin) UnlockAll() {
 		panic("casper: UnlockAll without LockAll")
 	}
 	if cw.epochs.lock {
-		for _, t := range cw.targetOrder() {
-			ts := cw.targets[t]
-			if ts.viaAll && ts.locked {
+		for t, ts := range cw.targets { // ascending target order
+			if ts != nil && ts.viaAll && ts.locked {
 				if ts.ghostsLkd {
 					w := cw.lockWins[cw.layout[t].lockWinIdx]
 					locked := ts.lockedGhosts
@@ -468,14 +487,14 @@ func (cw *casperWin) UnlockAll() {
 						w.Unlock(g)
 					}
 				}
-				delete(cw.targets, t)
+				cw.targets[t] = nil
 			}
 		}
 	} else {
 		cw.active.FlushAll()
 		for t, ts := range cw.targets {
-			if ts.viaAll {
-				delete(cw.targets, t)
+			if ts != nil && ts.viaAll {
+				cw.targets[t] = nil
 			}
 		}
 	}
@@ -487,8 +506,8 @@ func (cw *casperWin) UnlockAll() {
 // static-binding-free interval in which dynamic load balancing of
 // PUT/GET is legal (III-B-3).
 func (cw *casperWin) Flush(t int) {
-	ts, ok := cw.targets[t]
-	if !ok || !ts.locked {
+	ts := cw.lookupTarget(t)
+	if ts == nil || !ts.locked {
 		switch {
 		case cw.lockAllActive:
 			ts = cw.epochStateFor(t) // opens the lazy per-target state
@@ -511,9 +530,8 @@ func (cw *casperWin) Flush(t int) {
 
 // FlushAll flushes every target this origin has touched.
 func (cw *casperWin) FlushAll() {
-	for _, t := range cw.targetOrder() {
-		ts := cw.targets[t]
-		if !ts.locked {
+	for t, ts := range cw.targets { // ascending target order
+		if ts == nil || !ts.locked {
 			continue
 		}
 		w := cw.winFor(t, ts)
@@ -531,7 +549,7 @@ func (cw *casperWin) FlushAll() {
 
 // FlushLocal completes operations locally.
 func (cw *casperWin) FlushLocal(t int) {
-	if ts, ok := cw.targets[t]; ok && ts.locked {
+	if ts := cw.lookupTarget(t); ts != nil && ts.locked {
 		cw.winFor(t, ts).FlushLocal(0)
 	}
 }
@@ -580,20 +598,10 @@ func (cw *casperWin) requireEpoch(declared bool, name string) {
 	}
 }
 
-// targetOrder returns the touched targets in ascending index order.
-// Epoch-closing loops issue real operations (locks, flushes) that take
-// virtual time, so map iteration order must not leak into the timeline.
-func (cw *casperWin) targetOrder() []int {
-	order := make([]int, 0, len(cw.targets))
-	for t := range cw.targets {
-		order = append(order, t)
-	}
-	sort.Ints(order)
-	return order
-}
-
 func (cw *casperWin) resetDynamic() {
 	for _, ts := range cw.targets {
-		ts.dynamicOK = false
+		if ts != nil {
+			ts.dynamicOK = false
+		}
 	}
 }

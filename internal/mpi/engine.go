@@ -27,7 +27,7 @@ type rankEngine struct {
 	r       *Rank
 	srv     *sim.Server // serial AM service pipeline of this rank
 	inMPI   int         // MPI call nesting depth
-	pending []*delivery // software AMs deferred until the next MPI entry
+	pending []*rmaOp    // software AMs deferred until the next MPI entry
 	stolen  sim.Duration
 
 	// Load telemetry for the overload rebalancer: AMs submitted to the
@@ -43,13 +43,6 @@ type rankEngine struct {
 func (e *rankEngine) init(r *Rank) {
 	e.r = r
 	e.srv = sim.NewServer(r.w.eng)
-}
-
-// delivery is one software AM that has arrived at the target NIC and
-// needs target-side CPU to complete.
-type delivery struct {
-	op      *rmaOp
-	arrived sim.Time
 }
 
 // LoadDepth returns the number of software AMs submitted to this
@@ -95,10 +88,10 @@ func (r *Rank) BacklogEstimate() sim.Duration {
 func (e *rankEngine) enterMPI() {
 	e.inMPI++
 	if e.inMPI == 1 && len(e.pending) > 0 {
-		ds := e.pending
+		ops := e.pending
 		e.pending = nil
-		for _, d := range ds {
-			e.service(d, 1.0, 0)
+		for _, op := range ops {
+			e.service(op, 1.0, 0)
 		}
 	}
 }
@@ -111,8 +104,8 @@ func (e *rankEngine) leaveMPI() {
 }
 
 // deliver is invoked (in engine context) when a software AM arrives at
-// this rank.
-func (e *rankEngine) deliver(d *delivery) {
+// this rank. The op's arrived field carries the NIC delivery time.
+func (e *rankEngine) deliver(op *rmaOp) {
 	r := e.r
 	if r.failed {
 		// Dead target: swallow; the origin recovers via timeout/failover.
@@ -123,19 +116,21 @@ func (e *rankEngine) deliver(d *delivery) {
 		// stall ends. Regular event — the origin is parked waiting for
 		// the ack, so this must keep the simulation alive. The original
 		// arrival time is kept, so the trace shows the full stall.
+		// (Cold path: a closure here is fine; it must redeliver to THIS
+		// engine, which may differ from rankOf(op.target) on failover.)
 		until := r.stalledUntil
-		r.w.eng.At(until, func() { e.deliver(d) })
+		r.w.eng.At(until, func() { e.deliver(op) })
 		return
 	}
 	switch e.r.w.cfg.Progress {
 	case ProgressNone:
 		if e.inMPI > 0 {
-			e.service(d, 1.0, 0)
+			e.service(op, 1.0, 0)
 		} else {
-			e.pending = append(e.pending, d)
+			e.pending = append(e.pending, op)
 		}
 	case ProgressThread:
-		cost := e.service(d, e.r.w.net.ThreadAM, 0)
+		cost := e.service(op, e.r.w.net.ThreadAM, 0)
 		if e.r.w.cfg.ThreadOversubscribed {
 			// The progress thread shares the host core: its service
 			// time is stolen from the host's computation.
@@ -144,9 +139,9 @@ func (e *rankEngine) deliver(d *delivery) {
 		}
 	case ProgressInterrupt:
 		if e.inMPI > 0 {
-			e.service(d, 1.0, 0)
+			e.service(op, 1.0, 0)
 		} else {
-			cost := e.service(d, 1.0, e.r.w.net.InterruptCost)
+			cost := e.service(op, 1.0, e.r.w.net.InterruptCost)
 			e.r.stats.Interrupts++
 			e.stolen += cost
 			e.r.stats.StolenTime += cost
@@ -157,17 +152,20 @@ func (e *rankEngine) deliver(d *delivery) {
 // service submits the AM to the rank's serial pipeline. factor scales the
 // processing cost (thread lock contention); extra adds a fixed overhead
 // (interrupt entry). It returns the total service time charged.
-func (e *rankEngine) service(d *delivery, factor float64, extra sim.Duration) sim.Duration {
-	op := d.op
-	cost := sim.Duration(float64(e.r.w.net.AMCost(op.bytes(), op.contiguous()))*factor) + extra
+func (e *rankEngine) service(op *rmaOp, factor float64, extra sim.Duration) sim.Duration {
+	cost := sim.Duration(float64(e.r.w.memo.AMCost(op.bytes(), op.contiguous()))*factor) + extra
 	e.noteDepth(1)
 	if e.ewma == 0 {
 		e.ewma = float64(cost)
 	} else {
 		e.ewma = 0.75*e.ewma + 0.25*float64(cost)
 	}
-	end := e.srv.Submit(d.arrived, cost, func() { e.noteDepth(-1); op.applyAndAck() })
-	op.svcStart, op.svcEnd, op.svcOwner = end.Add(-cost), end, e.r.id
+	// The op itself is the completion event (phase opPhaseSvcDone pops
+	// the depth and applies+acks), so queuing a job allocates nothing.
+	op.phase = opPhaseSvcDone
+	op.svcOwner = e.r.id
+	end := e.srv.SubmitRun(op.arrived, cost, op)
+	op.svcStart, op.svcEnd = end.Add(-cost), end
 	e.r.stats.SoftwareAMs++
 	e.r.stats.BytesIn += int64(op.bytes())
 	if tr := e.r.w.tracer; tr.Enabled() {
@@ -176,7 +174,7 @@ func (e *rankEngine) service(d *delivery, factor float64, extra sim.Duration) si
 			Origin:    op.win.comm.ranks[op.origin],
 			Kind:      op.kind.String(),
 			Bytes:     op.bytes(),
-			Arrived:   d.arrived,
+			Arrived:   op.arrived,
 			Start:     op.svcStart,
 			End:       op.svcEnd,
 			Interrupt: extra > 0,

@@ -196,12 +196,12 @@ func (w *Win) Unlock(target int) {
 	r := w.r
 	r.mpiEnter()
 	defer r.mpiLeave()
-	ts, ok := w.targets[target]
-	if !ok || !ts.locked || ts.viaAll {
+	ts := w.lookupTarget(target)
+	if ts == nil || !ts.locked || ts.viaAll {
 		panic(fmt.Sprintf("mpi: Unlock of target %d without Lock", target))
 	}
 	w.closeTarget(target, ts)
-	delete(w.targets, target)
+	w.targets[target] = nil
 }
 
 // closeTarget finishes the passive epoch to one target: force lock
@@ -244,9 +244,9 @@ func (w *Win) UnlockAll() {
 		panic("mpi: UnlockAll without LockAll")
 	}
 	for t, ts := range w.targets {
-		if ts.locked && ts.viaAll {
+		if ts != nil && ts.locked && ts.viaAll {
 			w.closeTarget(t, ts)
-			delete(w.targets, t)
+			w.targets[t] = nil
 		}
 	}
 	w.lockAll = false
@@ -260,8 +260,8 @@ func (w *Win) Flush(target int) {
 	r := w.r
 	r.mpiEnter()
 	defer r.mpiLeave()
-	ts, ok := w.targets[target]
-	if !ok || !ts.locked {
+	ts := w.lookupTarget(target)
+	if ts == nil || !ts.locked {
 		if w.lockAll {
 			return // no ops issued to this target yet; nothing to flush
 		}
@@ -279,7 +279,7 @@ func (w *Win) FlushAll() {
 	r.mpiEnter()
 	defer r.mpiLeave()
 	for _, ts := range w.targets {
-		if !ts.locked {
+		if ts == nil || !ts.locked {
 			continue
 		}
 		if ts.requested {
@@ -317,8 +317,8 @@ func (w *Win) Acquire(target int) {
 	r := w.r
 	r.mpiEnter()
 	defer r.mpiLeave()
-	ts, ok := w.targets[target]
-	if !ok || !ts.locked {
+	ts := w.lookupTarget(target)
+	if ts == nil || !ts.locked {
 		if w.lockAll {
 			ts = w.target(target)
 			ts.locked = true

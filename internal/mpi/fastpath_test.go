@@ -1,0 +1,103 @@
+package mpi
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// fastpathWorkload mixes every scheduling shape the run-to-completion
+// fast paths touch: computation (inline advance), p2p messaging,
+// lock/unlock and fence epochs, flushes, and the full RMA op family.
+func fastpathWorkload(r *Rank) {
+	c := r.CommWorld()
+	win, buf := r.WinAllocate(c, 128, nil)
+	c.Barrier()
+
+	r.Compute(3 * sim.Microsecond)
+	if r.Rank() == 0 {
+		c.Send(1, 9, []byte("ping"))
+	} else if r.Rank() == 1 {
+		c.Recv(0, 9)
+	}
+
+	win.LockAll(AssertNone)
+	for tgt := 0; tgt < c.Size(); tgt++ {
+		if tgt == r.Rank() {
+			continue
+		}
+		win.Accumulate(PutFloat64s([]float64{1}), tgt, 0, Scalar(Float64), OpSum)
+	}
+	win.FlushAll()
+	win.UnlockAll()
+
+	win.Fence(AssertNone)
+	if r.Rank() == 0 {
+		win.Put(PutFloat64s([]float64{42}), 1, 8, Scalar(Float64))
+		dst := make([]byte, 8)
+		win.Get(dst, 1, 0, Scalar(Float64))
+	}
+	win.Fence(AssertNone)
+
+	c.Barrier()
+	_ = buf
+	win.Free()
+}
+
+// TestFastPathOnOffIdentical is the A/B contract for the
+// run-to-completion optimizations: the same workload under
+// NoSimFastPath (every event through the heap, every advance through a
+// park/resume pair) and under the default fast paths must produce an
+// identical summary — same end time, same counters, bit for bit. The
+// fast paths elide scheduler mechanics, never scheduling decisions.
+func TestFastPathOnOffIdentical(t *testing.T) {
+	fast := mustRun(t, testConfig(8, 4), fastpathWorkload)
+	if fast.Engine().InlinedAdvances() == 0 {
+		t.Fatal("fast-path world never inlined an advance; the A/B comparison is vacuous")
+	}
+
+	slowCfg := testConfig(8, 4)
+	slowCfg.NoSimFastPath = true
+	slow := mustRun(t, slowCfg, fastpathWorkload)
+	if slow.Engine().InlinedAdvances() != 0 {
+		t.Fatalf("NoSimFastPath world inlined %d advances", slow.Engine().InlinedAdvances())
+	}
+
+	if a, b := fast.Summary(), slow.Summary(); a != b {
+		t.Fatalf("fast-path run diverged from heap-only run:\nfast: %+v\nslow: %+v", a, b)
+	}
+	if a, b := fast.Engine().EventsExecuted(), slow.Engine().EventsExecuted(); a != b {
+		t.Fatalf("event counts differ: fast %d, slow %d", a, b)
+	}
+}
+
+// TestFastPathOnOffIdenticalUnderFlowControl repeats the A/B check with
+// credit flow control, whose stall/timeout bookkeeping is observed
+// between events and is therefore the most fragile consumer of event
+// ordering.
+func TestFastPathOnOffIdenticalUnderFlowControl(t *testing.T) {
+	run := func(off bool) WorldSummary {
+		cfg := testConfig(4, 4)
+		cfg.NoSimFastPath = off
+		cfg.Flow = &FlowConfig{Credits: 2}
+		return mustRun(t, cfg, func(r *Rank) {
+			c := r.CommWorld()
+			win, _ := r.WinAllocate(c, 64, nil)
+			c.Barrier()
+			if r.Rank() != 0 {
+				win.Lock(0, LockShared, AssertNone)
+				for i := 0; i < 8; i++ {
+					win.Accumulate(PutFloat64s([]float64{1}), 0, 0, Scalar(Float64), OpSum)
+				}
+				win.Unlock(0)
+			} else {
+				r.Compute(50 * sim.Microsecond)
+			}
+			c.Barrier()
+			win.Free()
+		}).Summary()
+	}
+	if a, b := run(false), run(true); a != b {
+		t.Fatalf("flow-control run diverged:\nfast: %+v\nslow: %+v", a, b)
+	}
+}

@@ -2,7 +2,6 @@ package mpi
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -49,6 +48,7 @@ type creditChan struct {
 	waiters        int
 	stalls         int64
 	sig            sim.Signal
+	waitReason     string // interned park label (built once, not per park)
 }
 
 func newFlowState(w *World, cfg *FlowConfig) *flowState {
@@ -68,7 +68,10 @@ func (f *flowState) chanFor(origin, target int) *creditChan {
 	key := [2]int{origin, target}
 	ch := f.chans[key]
 	if ch == nil {
-		ch = &creditChan{origin: origin, target: target, available: f.credits}
+		ch = &creditChan{
+			origin: origin, target: target, available: f.credits,
+			waitReason: fmt.Sprintf("awaiting AM credit to rank %d", target),
+		}
 		f.chans[key] = ch
 		f.order = append(f.order, key)
 	}
@@ -105,7 +108,7 @@ func (f *flowState) acquire(r *Rank, target int) *creditChan {
 			return nil
 		}
 		ch.waiters++
-		ch.sig.Wait(r.proc, fmt.Sprintf("awaiting AM credit to rank %d", target))
+		ch.sig.Wait(r.proc, ch.waitReason)
 		ch.waiters--
 	}
 	r.stats.CreditStallTime += sim.Duration(f.w.eng.Now() - start)
@@ -216,9 +219,11 @@ type targetStateRef struct {
 
 func (w *Win) targetStatesSorted() []targetStateRef {
 	refs := make([]targetStateRef, 0, len(w.targets))
-	for t, ts := range w.targets {
+	for t, ts := range w.targets { // slice: already in ascending target order
+		if ts == nil {
+			continue
+		}
 		refs = append(refs, targetStateRef{target: t, ts: ts})
 	}
-	sort.Slice(refs, func(i, j int) bool { return refs[i].target < refs[j].target })
 	return refs
 }

@@ -15,14 +15,41 @@ package mpi
 // can never leak into results.
 type bufPool struct {
 	classes [poolClasses][][]byte
+
+	// gets/puts count buffers handed out and returned. Their difference
+	// is the number of live (leaked, if the world is idle) buffers —
+	// the leak audit in pool_test.go asserts it reaches zero after every
+	// experiment. Zero-length gets return nil and count as neither.
+	gets, puts int64
 }
 
+// Outstanding returns gets - puts: pooled buffers handed out and not yet
+// returned. After a world has fully quiesced this must be zero, or an
+// error/early-return path dropped a buffer on the floor.
+func (p *bufPool) Outstanding() int64 { return p.gets - p.puts }
+
 const (
-	poolMinShift   = 4 // smallest class: 16 bytes
-	poolClasses    = 17
-	poolMaxSize    = 1 << (poolMinShift + poolClasses - 1) // 1 MiB
-	poolClassLimit = 256                                   // buffers retained per class
+	poolMinShift = 4 // smallest class: 16 bytes
+	poolClasses  = 17
+	poolMaxSize  = 1 << (poolMinShift + poolClasses - 1) // 1 MiB
+
+	// Retention is byte-budgeted per class rather than a flat count: an
+	// epoch flush returns thousands of same-class buffers at once, and a
+	// flat cap makes the next issue burst miss the pool for all but the
+	// first few. Small classes may retain many buffers cheaply; large
+	// classes are bounded by the byte budget.
+	poolClassMinRetain = 256     // floor, covers the largest classes
+	poolClassBytes     = 1 << 22 // ~4 MiB retained per class
 )
+
+// classLimit returns how many buffers class c may retain.
+func classLimit(c int) int {
+	limit := poolClassBytes >> (poolMinShift + c)
+	if limit < poolClassMinRetain {
+		limit = poolClassMinRetain
+	}
+	return limit
+}
 
 // classFor returns the class index whose capacity is the smallest
 // power-of-two >= n, or -1 when n is outside the pooled range.
@@ -45,8 +72,10 @@ func (p *bufPool) get(n int) []byte {
 		if n <= 0 {
 			return nil
 		}
+		p.gets++
 		return make([]byte, n)
 	}
+	p.gets++
 	free := p.classes[c]
 	if len(free) == 0 {
 		return make([]byte, n, 1<<(poolMinShift+c))
@@ -64,11 +93,12 @@ func (p *bufPool) put(b []byte) {
 	if b == nil {
 		return
 	}
+	p.puts++
 	c := classFor(cap(b))
 	if c < 0 || cap(b) != 1<<(poolMinShift+c) {
 		return
 	}
-	if len(p.classes[c]) >= poolClassLimit {
+	if len(p.classes[c]) >= classLimit(c) {
 		return
 	}
 	p.classes[c] = append(p.classes[c], b)

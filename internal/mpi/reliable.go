@@ -277,7 +277,8 @@ func (rel *reliability) dispatch(pkt *packet) {
 		op.applyHardware(dst)
 		return
 	}
-	dst.engine.deliver(&delivery{op: op, arrived: w.eng.Now()})
+	op.arrived = w.eng.Now()
+	dst.engine.deliver(op)
 }
 
 // reAck re-sends the acknowledgment for a duplicate of a completed

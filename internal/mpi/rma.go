@@ -50,6 +50,20 @@ func (k OpKind) isAtomicFamily() bool {
 	return k == KindAcc || k == KindGetAcc || k == KindFetchOp || k == KindCAS
 }
 
+// opPhase tracks where an rmaOp is in its scheduled lifecycle, so a
+// single Runner implementation (Step) can serve every stage. Each stage
+// is scheduled at most once and the phases advance strictly, which is
+// what lets one op be its own event payload with no per-stage closure.
+type opPhase uint8
+
+const (
+	opPhaseNone    opPhase = iota
+	opPhaseArrive          // software AM crossing the wire to the target NIC
+	opPhaseHW              // hardware put/get applying at arrival
+	opPhaseSvcDone         // target pipeline finished servicing
+	opPhaseAck             // completion ack crossing back to the origin
+)
+
 // rmaOp is one in-flight RMA operation.
 type rmaOp struct {
 	win    *winGlobal
@@ -60,13 +74,23 @@ type rmaOp struct {
 	dt     Datatype
 	op     Op
 	data   []byte // packed origin payload (put/acc/getacc/fao src; cas new value)
-	cmp    []byte // cas compare value
+	cmp    []byte // cas compare value (pooled copy)
 	dst    []byte // origin result destination (get/getacc/fao/cas)
 	result []byte // captured at apply time, delivered at ack
 
 	excl bool // origin held an exclusive lock on the target when issuing
 	pscw bool // issued within a PSCW access epoch
 	seq  int64
+
+	phase   opPhase
+	arrived sim.Time // NIC delivery time at the target (software AM path)
+
+	// Wire-chain bookkeeping (see targetState.wireHead): while crossing
+	// the wire the op may be queued behind earlier ops of its channel
+	// instead of holding its own heap event.
+	wireNext *rmaOp
+	wireTS   *targetState
+	evSeq    uint64 // event seq reserved at send time
 
 	pending *sim.CompletionSet // origin-side ack tracking (flush)
 	req     *RMARequest        // request-based op handle (Rput/Rget), or nil
@@ -79,6 +103,28 @@ type rmaOp struct {
 	// Service bookkeeping for the validator.
 	svcStart, svcEnd sim.Time
 	svcOwner         int // world rank of the servicing engine; -1 for NIC
+}
+
+// Step implements sim.Runner: it advances the op through whichever
+// lifecycle stage was scheduled. Dispatching the op itself instead of a
+// closure keeps the steady-state message path allocation-free.
+func (o *rmaOp) Step() {
+	switch o.phase {
+	case opPhaseArrive:
+		o.promoteWire()
+		o.win.rankOf(o.target).engine.deliver(o)
+	case opPhaseHW:
+		o.promoteWire()
+		o.applyHardware(o.win.rankOf(o.target))
+	case opPhaseSvcDone:
+		e := &o.win.w.ranks[o.svcOwner].engine
+		e.noteDepth(-1)
+		o.applyAndAck()
+	case opPhaseAck:
+		o.ackDelivered()
+	default:
+		panic(fmt.Sprintf("mpi: rmaOp.Step in phase %d", o.phase))
+	}
 }
 
 // bytes returns the payload size that determines processing and wire
@@ -120,36 +166,54 @@ func (o *rmaOp) ackBytes() int {
 
 // --- Issue path (origin side) ----------------------------------------
 
+// newOp fetches a zeroed rmaOp from the world's freelist (or the heap
+// when recycling is off) and fills the fields common to every kind.
+func (w *Win) newOp(kind OpKind, target, disp int, dt Datatype, op Op) *rmaOp {
+	o := w.g.w.getOp()
+	o.kind, o.target, o.disp, o.dt, o.op = kind, target, disp, dt, op
+	return o
+}
+
 // Put implements Window.
 func (w *Win) Put(src []byte, target int, disp int, dt Datatype) {
-	w.issue(&rmaOp{kind: KindPut, data: src, target: target, disp: disp, dt: dt, op: OpReplace})
+	o := w.newOp(KindPut, target, disp, dt, OpReplace)
+	o.data = src
+	w.issue(o)
 }
 
 // Get implements Window.
 func (w *Win) Get(dst []byte, target int, disp int, dt Datatype) {
-	w.issue(&rmaOp{kind: KindGet, dst: dst, target: target, disp: disp, dt: dt, op: OpNoOp})
+	o := w.newOp(KindGet, target, disp, dt, OpNoOp)
+	o.dst = dst
+	w.issue(o)
 }
 
 // Accumulate implements Window.
 func (w *Win) Accumulate(src []byte, target int, disp int, dt Datatype, op Op) {
-	w.issue(&rmaOp{kind: KindAcc, data: src, target: target, disp: disp, dt: dt, op: op})
+	o := w.newOp(KindAcc, target, disp, dt, op)
+	o.data = src
+	w.issue(o)
 }
 
 // GetAccumulate implements Window.
 func (w *Win) GetAccumulate(src, result []byte, target int, disp int, dt Datatype, op Op) {
-	w.issue(&rmaOp{kind: KindGetAcc, data: src, dst: result, target: target, disp: disp, dt: dt, op: op})
+	o := w.newOp(KindGetAcc, target, disp, dt, op)
+	o.data, o.dst = src, result
+	w.issue(o)
 }
 
 // FetchAndOp implements Window.
 func (w *Win) FetchAndOp(src, result []byte, target int, disp int, b BasicType, op Op) {
-	w.issue(&rmaOp{kind: KindFetchOp, data: src, dst: result, target: target, disp: disp,
-		dt: Scalar(b), op: op})
+	o := w.newOp(KindFetchOp, target, disp, Scalar(b), op)
+	o.data, o.dst = src, result
+	w.issue(o)
 }
 
 // CompareAndSwap implements Window.
 func (w *Win) CompareAndSwap(compare, origin, result []byte, target int, disp int, b BasicType) {
-	w.issue(&rmaOp{kind: KindCAS, data: origin, cmp: compare, dst: result, target: target,
-		disp: disp, dt: Scalar(b), op: OpReplace})
+	o := w.newOp(KindCAS, target, disp, Scalar(b), OpReplace)
+	o.data, o.cmp, o.dst = origin, compare, result
+	w.issue(o)
 }
 
 // issue validates the epoch, charges origin-side cost, and either sends
@@ -170,7 +234,11 @@ func (w *Win) issue(op *rmaOp) {
 		if op.disp < 0 || op.disp+op.dt.Extent() > reg.n {
 			r.raise(ErrRMARange, "mpi: %v at disp %d extent %d outside %d-byte window of target %d",
 				op.kind, op.disp, op.dt.Extent(), reg.n, op.target)
-			return // ErrorsReturn: drop the op before any accounting
+			// ErrorsReturn: drop the op before any accounting. data/cmp
+			// still alias the caller's buffers here, so there is
+			// nothing pooled to release — just the op header.
+			r.w.putOp(op)
+			return
 		}
 	}
 
@@ -188,6 +256,7 @@ func (w *Win) issue(op *rmaOp) {
 			if w.g.onOpDone != nil {
 				w.g.onOpDone(w.me, op.target, op.disp)
 			}
+			r.w.putOp(op)
 			return
 		}
 		op.credit = ch
@@ -206,7 +275,12 @@ func (w *Win) issue(op *rmaOp) {
 		op.data = buf
 	}
 	if op.cmp != nil {
-		op.cmp = append([]byte(nil), op.cmp...)
+		// The compare value is snapshotted through the pool too, so the
+		// whole op (header and payloads) recycles without garbage.
+		n := len(op.cmp)
+		buf := r.w.pool.get(n)
+		copy(buf, op.cmp)
+		op.cmp = buf
 	}
 	r.stats.OpsIssued++
 
@@ -222,8 +296,8 @@ func (w *Win) issue(op *rmaOp) {
 	case w.fenceActive:
 		op.pending = &w.target(op.target).pending
 	default: // passive target
-		ts, ok := w.targets[op.target]
-		if !ok || !ts.locked {
+		ts := w.lookupTarget(op.target)
+		if ts == nil || !ts.locked {
 			if w.lockAll {
 				ts = w.target(op.target)
 				ts.locked = true
@@ -276,7 +350,6 @@ func (w *Win) send(op *rmaOp) {
 	eng := r.w.eng
 	targetWorld := g.comm.ranks[op.target]
 	wire := r.transferTo(targetWorld, op.wireOutBytes())
-	tr := g.rankOf(op.target)
 	ts := w.target(op.target)
 	arrival := eng.Now().Add(wire)
 	if arrival <= ts.lastArrival {
@@ -287,13 +360,51 @@ func (w *Win) send(op *rmaOp) {
 		rel.sendOp(op, arrival)
 		return
 	}
+	// The op is its own arrival event (see Step), so putting it on the
+	// wire allocates nothing.
+	op.arrived = arrival
 	if op.hardwareEligible() {
-		eng.At(arrival, func() { op.applyHardware(tr) })
+		op.phase = opPhaseHW
+	} else {
+		op.phase = opPhaseArrive
+	}
+	if eng.FastPathsDisabled() {
+		eng.AtRun(arrival, op)
 		return
 	}
-	eng.At(arrival, func() {
-		tr.engine.deliver(&delivery{op: op, arrived: eng.Now()})
-	})
+	// Wire chaining: channel arrivals are strictly monotone, so only the
+	// channel's head op holds a heap event; later ops queue behind it
+	// with their event seq reserved here, at the instant an eager
+	// schedule would have assigned it (keeping the timeline identical).
+	op.evSeq = eng.ReserveSeq()
+	op.wireTS = ts
+	if ts.wireTail != nil {
+		ts.wireTail.wireNext = op
+		ts.wireTail = op
+		return
+	}
+	ts.wireHead, ts.wireTail = op, op
+	eng.AtRunReserved(arrival, op.evSeq, op)
+}
+
+// promoteWire unlinks the op from its channel's wire chain as its
+// arrival event fires, scheduling the successor's arrival under the seq
+// reserved at send time. No-op for ops that never chained (reliable
+// transport, fast paths disabled).
+func (o *rmaOp) promoteWire() {
+	ts := o.wireTS
+	if ts == nil {
+		return
+	}
+	o.wireTS = nil
+	next := o.wireNext
+	o.wireNext = nil
+	ts.wireHead = next
+	if next == nil {
+		ts.wireTail = nil
+		return
+	}
+	o.win.w.eng.AtRunReserved(next.arrived, next.evSeq, next)
 }
 
 // --- Apply path (target side) ----------------------------------------
@@ -420,24 +531,27 @@ func (o *rmaOp) ack() {
 	g := o.win
 	originWorld := g.comm.ranks[o.origin]
 	targetWorld := g.comm.ranks[o.target]
-	p := g.w.place
-	wire := g.w.net.Transfer(p.SameNode(targetWorld, originWorld),
-		p.SameNUMA(targetWorld, originWorld), o.ackBytes())
+	wire := g.w.ranks[targetWorld].transferTo(originWorld, o.ackBytes())
 	if rel := g.w.rel; rel != nil {
 		rel.sendAck(o.relPkt, wire, true)
 		return
 	}
-	pending := o.pending
-	g.w.eng.After(wire, func() {
-		if o.dst != nil && o.result != nil {
-			copy(o.dst, o.result)
-		}
-		pending.Done()
-		if o.req != nil {
-			o.req.pending.Done()
-		}
-		g.opTerminal(o)
-	})
+	o.phase = opPhaseAck
+	g.w.eng.AfterRun(wire, o)
+}
+
+// ackDelivered lands the completion ack at the origin: result data is
+// copied out, flush/request trackers release, and the op reaches its
+// terminal state.
+func (o *rmaOp) ackDelivered() {
+	if o.dst != nil && o.result != nil {
+		copy(o.dst, o.result)
+	}
+	o.pending.Done()
+	if o.req != nil {
+		o.req.pending.Done()
+	}
+	o.win.opTerminal(o)
 }
 
 // opTerminal runs exactly once per op that passed issue-time
@@ -454,6 +568,10 @@ func (g *winGlobal) opTerminal(o *rmaOp) {
 		g.w.pool.put(o.data)
 		o.data = nil
 	}
+	if o.cmp != nil {
+		g.w.pool.put(o.cmp)
+		o.cmp = nil
+	}
 	if o.result != nil {
 		g.w.pool.put(o.result)
 		o.result = nil
@@ -461,4 +579,7 @@ func (g *winGlobal) opTerminal(o *rmaOp) {
 	if g.onOpDone != nil {
 		g.onOpDone(o.origin, o.target, o.disp)
 	}
+	// Recycle the header last: putOp zeroes the op. Under a fault plan
+	// recycling is disabled (packets hold op pointers past this point).
+	g.w.putOp(o)
 }

@@ -46,8 +46,9 @@ func (q *RMARequest) Wait() {
 // RPut issues a request-based put (MPI_RPUT).
 func (w *Win) RPut(src []byte, target int, disp int, dt Datatype) *RMARequest {
 	q := &RMARequest{r: w.r}
-	w.issue(&rmaOp{kind: KindPut, data: src, target: target, disp: disp, dt: dt,
-		op: OpReplace, req: q})
+	o := w.newOp(KindPut, target, disp, dt, OpReplace)
+	o.data, o.req = src, q
+	w.issue(o)
 	return q
 }
 
@@ -55,7 +56,8 @@ func (w *Win) RPut(src []byte, target int, disp int, dt Datatype) *RMARequest {
 // filled.
 func (w *Win) RGet(dst []byte, target int, disp int, dt Datatype) *RMARequest {
 	q := &RMARequest{r: w.r}
-	w.issue(&rmaOp{kind: KindGet, dst: dst, target: target, disp: disp, dt: dt,
-		op: OpNoOp, req: q})
+	o := w.newOp(KindGet, target, disp, dt, OpNoOp)
+	o.dst, o.req = dst, q
+	w.issue(o)
 	return q
 }

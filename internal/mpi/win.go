@@ -89,8 +89,13 @@ type Win struct {
 	lockAll     bool
 	access      *pscwAccess   // open access epoch (Start..Complete)
 	exposure    *pscwExposure // open exposure epoch (Post..Wait)
-	targets     map[int]*targetState
 	opSeq       int64
+
+	// targets holds the per-target passive-epoch state, indexed by comm
+	// rank. Allocated on first use (most handles of most windows never
+	// issue), nil entries mean "no state" — a flat slice keeps the
+	// per-op lookup off the map hash path.
+	targets []*targetState
 }
 
 type pscwAccess struct {
@@ -118,18 +123,39 @@ type targetState struct {
 	// channel: a small message must not overtake a large one, or
 	// same-origin accumulate ordering (MPI-3 §11.7.1) would break.
 	lastArrival sim.Time
+
+	// wireHead/wireTail chain the ops currently crossing the wire on
+	// this channel. Arrivals are strictly monotone (see lastArrival), so
+	// only the head op keeps an arrival event in the engine's heap; each
+	// arrival promotes its successor under the seq reserved at send time
+	// (see Win.send and rmaOp.promoteWire). Heap residency per channel
+	// is O(1) instead of one entry per op on the wire.
+	wireHead *rmaOp
+	wireTail *rmaOp
 }
 
 func (w *Win) target(t int) *targetState {
 	if t < 0 || t >= len(w.g.comm.ranks) {
 		panic(fmt.Sprintf("mpi: window target %d out of range [0,%d)", t, len(w.g.comm.ranks)))
 	}
-	ts, ok := w.targets[t]
-	if !ok {
+	if w.targets == nil {
+		w.targets = make([]*targetState, len(w.g.comm.ranks))
+	}
+	ts := w.targets[t]
+	if ts == nil {
 		ts = &targetState{}
 		w.targets[t] = ts
 	}
 	return ts
+}
+
+// lookupTarget returns the existing per-target state, or nil when none
+// has been created (no allocation, no bounds panic).
+func (w *Win) lookupTarget(t int) *targetState {
+	if t < 0 || t >= len(w.targets) {
+		return nil
+	}
+	return w.targets[t]
 }
 
 // Region returns this rank's exposed memory region (used by Casper when
@@ -166,8 +192,7 @@ func newWin(g *winGlobal, r *Rank) *Win {
 	if !ok {
 		panic("mpi: rank not in window comm")
 	}
-	win := &Win{g: g, c: &Comm{g: g.comm, me: me, r: r}, r: r, me: me,
-		targets: map[int]*targetState{}}
+	win := &Win{g: g, c: &Comm{g: g.comm, me: me, r: r}, r: r, me: me}
 	g.handles = append(g.handles, win)
 	return win
 }

@@ -21,6 +21,15 @@ var worldEvents atomic.Int64
 // completed World.Run calls in this process.
 func TotalEventsExecuted() int64 { return worldEvents.Load() }
 
+// worldInlined accumulates inline run-to-completion advances (events
+// that skipped the heap and the goroutine switch entirely) across all
+// World.Run calls, mirroring worldEvents.
+var worldInlined atomic.Int64
+
+// TotalInlinedAdvances returns the inline fast-path advances taken by
+// all completed World.Run calls in this process.
+func TotalInlinedAdvances() int64 { return worldInlined.Load() }
+
 // ProgressMode selects the asynchronous progress baseline configured for
 // every rank of a world. Casper is not a mode: it is a library layered on
 // top of ProgressNone, which is the whole point of the paper.
@@ -89,6 +98,11 @@ type Config struct {
 	// fails fast instead of spinning).
 	WatchdogEvents int64
 	WatchdogTime   sim.Time
+	// NoSimFastPath disables the engine's run-to-completion fast paths
+	// (inline advances and same-time event fusion). The schedule is
+	// bit-identical either way — this exists so tests can prove it and
+	// benchmarks can measure the difference.
+	NoSimFastPath bool
 }
 
 // World is one simulated MPI job: an engine, a placement, and N ranks.
@@ -119,6 +133,16 @@ type World struct {
 	// pool recycles transient RMA message-path buffers (see pool.go).
 	pool bufPool
 
+	// memo caches the net cost-model lookups (latency memoization).
+	// Owned by this world's single simulation goroutine.
+	memo *netmodel.Memo
+
+	// opFree recycles rmaOp headers so the steady-state message path
+	// allocates nothing. Disabled (opRecycle false) under a fault plan,
+	// where reliability packets retain op pointers past terminal state.
+	opFree    []*rmaOp
+	opRecycle bool
+
 	// Fault-injection state; all nil/zero without a Config.Fault plan.
 	inj         *fault.Injector
 	rel         *reliability
@@ -141,10 +165,15 @@ func NewWorld(cfg Config) (*World, error) {
 		return nil, err
 	}
 	w := &World{
-		eng:   sim.New(cfg.Seed),
-		place: place,
-		net:   cfg.Net,
-		cfg:   cfg,
+		eng:       sim.New(cfg.Seed),
+		place:     place,
+		net:       cfg.Net,
+		cfg:       cfg,
+		memo:      netmodel.NewMemo(cfg.Net),
+		opRecycle: cfg.Fault == nil,
+	}
+	if cfg.NoSimFastPath {
+		w.eng.DisableFastPaths()
 	}
 	if cfg.Validate {
 		w.validator = newValidator()
@@ -202,6 +231,11 @@ func (w *World) Config() Config { return w.cfg }
 // Validator returns the correctness validator, or nil when disabled.
 func (w *World) Validator() *Validator { return w.validator }
 
+// PoolOutstanding returns the number of message-path buffers handed out
+// by the world's buffer pool and not yet returned. Zero once the world
+// has quiesced; anything else is a leak on an error/early-return path.
+func (w *World) PoolOutstanding() int64 { return w.pool.Outstanding() }
+
 // SetTracer installs an operation tracer; pass nil to disable. Install
 // before Launch.
 func (w *World) SetTracer(t *trace.Tracer) { w.tracer = t }
@@ -255,6 +289,7 @@ func (w *World) FailedCount() int { return w.failedCount }
 func (w *World) Run() error {
 	err := w.eng.Run()
 	worldEvents.Add(w.eng.EventsExecuted())
+	worldInlined.Add(w.eng.InlinedAdvances())
 	return err
 }
 
@@ -334,6 +369,7 @@ type Rank struct {
 
 	groupUses map[string]int   // per-rank CommFromGroup call counts
 	p2pLast   map[int]sim.Time // per-destination FIFO delivery horizon
+	locTo     []uint8          // lazy per-destination locality class (0xFF unset)
 
 	failed       bool     // ground-truth crash (see health.go)
 	stalledUntil sim.Time // progress engine frozen until this time
@@ -448,8 +484,46 @@ func (r *Rank) scaleBySafety(d sim.Duration) sim.Duration {
 	return d
 }
 
+// localityTo returns the placement class of the (r, dest) pair, cached
+// so the placement arithmetic runs once per pair instead of per message.
+func (r *Rank) localityTo(dest int) netmodel.Locality {
+	if r.locTo == nil {
+		lc := make([]uint8, r.w.cfg.N)
+		for i := range lc {
+			lc[i] = 0xFF
+		}
+		r.locTo = lc
+	}
+	if r.locTo[dest] == 0xFF {
+		p := r.w.place
+		r.locTo[dest] = uint8(netmodel.LocalityOf(p.SameNode(r.id, dest), p.SameNUMA(r.id, dest)))
+	}
+	return netmodel.Locality(r.locTo[dest])
+}
+
 // transferTo returns the wire time for n bytes from r to world rank dest.
 func (r *Rank) transferTo(dest, n int) sim.Duration {
-	p := r.w.place
-	return r.w.net.Transfer(p.SameNode(r.id, dest), p.SameNUMA(r.id, dest), n)
+	return r.w.memo.TransferLoc(r.localityTo(dest), n)
+}
+
+// getOp fetches a zeroed rmaOp, reusing a recycled header when one is
+// available.
+func (w *World) getOp() *rmaOp {
+	if n := len(w.opFree); n > 0 {
+		o := w.opFree[n-1]
+		w.opFree[n-1] = nil
+		w.opFree = w.opFree[:n-1]
+		return o
+	}
+	return &rmaOp{}
+}
+
+// putOp returns an op header to the freelist once nothing can reference
+// it again. No-op under a fault plan (see opRecycle).
+func (w *World) putOp(o *rmaOp) {
+	if !w.opRecycle {
+		return
+	}
+	*o = rmaOp{}
+	w.opFree = append(w.opFree, o)
 }

@@ -65,3 +65,64 @@ func BenchmarkEventLoop(b *testing.B) {
 		e.MustRun()
 	})
 }
+
+// BenchmarkInlineCompletion isolates the run-to-completion fast path for
+// Advance: a lone process with nothing else scheduled advances the clock
+// b.N times. "inline" completes every call without parking or touching
+// the heap; "parked" forces the classic park → heap push → pop → resume
+// round trip via DisableFastPaths. The gap between the two is the
+// goroutine-switch tax the fast path removes per MPI-call-shaped event.
+func BenchmarkInlineCompletion(b *testing.B) {
+	run := func(b *testing.B, fastOff bool) {
+		b.ReportAllocs()
+		e := New(1)
+		if fastOff {
+			e.DisableFastPaths()
+		}
+		e.Spawn("solo", func(p *Proc) {
+			for i := 0; i < b.N; i++ {
+				p.Advance(Microsecond)
+			}
+		})
+		e.MustRun()
+		if !fastOff && e.InlinedAdvances() != int64(b.N) {
+			b.Fatalf("inlined %d of %d advances; fast path did not engage", e.InlinedAdvances(), b.N)
+		}
+		if fastOff && e.InlinedAdvances() != 0 {
+			b.Fatalf("inlined %d advances with fast paths disabled", e.InlinedAdvances())
+		}
+	}
+	b.Run("inline", func(b *testing.B) { run(b, false) })
+	b.Run("parked", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkSameTimeFusion isolates same-time event fusion: a chain of
+// b.N callbacks all scheduled at the current instant. "fused" routes
+// every equal-timestamp event through the nowQueue ring — no heap
+// sift, no wakeup; "heap" (DisableFastPaths) pushes each through the
+// priority heap. Execution order is identical either way — only the
+// dispatch cost differs.
+func BenchmarkSameTimeFusion(b *testing.B) {
+	run := func(b *testing.B, fastOff bool) {
+		b.ReportAllocs()
+		e := New(1)
+		if fastOff {
+			e.DisableFastPaths()
+		}
+		n := 0
+		var tick func()
+		tick = func() {
+			n++
+			if n < b.N {
+				e.At(e.Now(), tick)
+			}
+		}
+		e.At(0, tick)
+		e.MustRun()
+		if n != b.N && b.N > 0 {
+			b.Fatalf("executed %d ticks, want %d", n, b.N)
+		}
+	}
+	b.Run("fused", func(b *testing.B) { run(b, false) })
+	b.Run("heap", func(b *testing.B) { run(b, true) })
+}

@@ -71,7 +71,16 @@ const (
 	evFn     eventKind = iota // run fn
 	evResume                  // resume a parked process
 	evStart                   // first activation of a spawned process
+	evRun                     // step a Runner (closure-free callback)
 )
+
+// Runner is a closure-free event callback: long-lived objects that pass
+// through several scheduled stages (e.g. an RMA operation going
+// arrival → service → ack) implement Step and are scheduled with AtRun,
+// so the steady-state event loop allocates nothing per stage.
+type Runner interface {
+	Step()
+}
 
 // event is a scheduled callback. Events at equal times fire in scheduling
 // order (seq) so runs are deterministic. Background events (bg) are
@@ -84,50 +93,78 @@ type event struct {
 	seq  uint64
 	fn   func() // evFn only
 	p    *Proc  // evResume/evStart only
+	run  Runner // evRun only
 	kind eventKind
 	bg   bool
 }
 
-// eventHeap is a hand-rolled 4-ary min-heap over []event, ordered by
-// (at, seq). Unlike container/heap it never boxes an event into an
-// interface, so push/pop allocate nothing beyond amortized slice
-// growth, and the shallower tree halves the sift-down depth of the
-// binary version — this is the hottest data structure in the
-// repository (every simulated microsecond of every experiment flows
-// through it).
+// evKey is the heap-ordering key of an event. Keys live in their own
+// array so a sift comparison touches 16 bytes, not the whole event —
+// four keys share a cache line, which is most of the heap's speed.
+type evKey struct {
+	at  Time
+	seq uint64
+}
+
+// before reports (at, seq) order.
+func (k evKey) before(o evKey) bool {
+	return k.at < o.at || (k.at == o.at && k.seq < o.seq)
+}
+
+// evPayload is the rest of an event, moved only when a sift actually
+// relocates an element.
+type evPayload struct {
+	fn   func() // evFn only
+	p    *Proc  // evResume/evStart only
+	run  Runner // evRun only
+	kind eventKind
+	bg   bool
+}
+
+// eventHeap is a hand-rolled 4-ary min-heap ordered by (at, seq),
+// stored as parallel key/payload arrays. Unlike container/heap it never
+// boxes an event into an interface, so push/pop allocate nothing beyond
+// amortized slice growth; the shallower tree halves the sift-down depth
+// of the binary version; and the split layout keeps comparisons inside
+// the dense key array. Sifts percolate a hole instead of swapping. This
+// is the hottest data structure in the repository — every simulated
+// microsecond of every experiment flows through it.
 type eventHeap struct {
-	a []event
+	k []evKey
+	v []evPayload
 }
 
-func (h *eventHeap) len() int { return len(h.a) }
+func (h *eventHeap) len() int { return len(h.k) }
 
-func (h *eventHeap) less(i, j int) bool {
-	if h.a[i].at != h.a[j].at {
-		return h.a[i].at < h.a[j].at
-	}
-	return h.a[i].seq < h.a[j].seq
-}
+// minTime returns the earliest scheduled time; the heap must be
+// non-empty.
+func (h *eventHeap) minTime() Time { return h.k[0].at }
 
 func (h *eventHeap) push(ev event) {
-	h.a = append(h.a, ev)
-	i := len(h.a) - 1
+	h.k = append(h.k, evKey{at: ev.at, seq: ev.seq})
+	h.v = append(h.v, evPayload{fn: ev.fn, p: ev.p, run: ev.run, kind: ev.kind, bg: ev.bg})
+	k, v := h.k, h.v
+	i := len(k) - 1
+	kk, vv := k[i], v[i]
 	for i > 0 {
 		parent := (i - 1) / 4
-		if !h.less(i, parent) {
+		if !kk.before(k[parent]) {
 			break
 		}
-		h.a[i], h.a[parent] = h.a[parent], h.a[i]
+		k[i], v[i] = k[parent], v[parent]
 		i = parent
 	}
+	k[i], v[i] = kk, vv
 }
 
 func (h *eventHeap) pop() event {
-	a := h.a
-	top := a[0]
-	n := len(a) - 1
-	a[0] = a[n]
-	a[n] = event{} // clear fn/p so the recycled slot retains nothing
-	h.a = a[:n]
+	k, v := h.k, h.v
+	top := event{at: k[0].at, seq: k[0].seq,
+		fn: v[0].fn, p: v[0].p, run: v[0].run, kind: v[0].kind, bg: v[0].bg}
+	n := len(k) - 1
+	k[0], v[0] = k[n], v[n]
+	v[n] = evPayload{} // clear fn/p/run so the recycled slot retains nothing
+	h.k, h.v = k[:n], v[:n]
 	if n > 1 {
 		h.siftDown()
 	}
@@ -135,13 +172,14 @@ func (h *eventHeap) pop() event {
 }
 
 func (h *eventHeap) siftDown() {
-	a := h.a
-	n := len(a)
+	k, v := h.k, h.v
+	n := len(k)
+	kk, vv := k[0], v[0] // the element being sifted, held out as a hole
 	i := 0
 	for {
 		first := 4*i + 1
 		if first >= n {
-			return
+			break
 		}
 		min := first
 		last := first + 4
@@ -149,16 +187,51 @@ func (h *eventHeap) siftDown() {
 			last = n
 		}
 		for c := first + 1; c < last; c++ {
-			if h.less(c, min) {
+			if k[c].before(k[min]) {
 				min = c
 			}
 		}
-		if !h.less(min, i) {
-			return
+		if !k[min].before(kk) {
+			break
 		}
-		a[i], a[min] = a[min], a[i]
+		k[i], v[i] = k[min], v[min]
 		i = min
 	}
+	k[i], v[i] = kk, vv
+}
+
+// nowQueue is a FIFO of events scheduled at exactly the current virtual
+// time. Same-time events fire in scheduling (seq) order, which for a
+// FIFO is just insertion order — so they bypass the heap entirely: O(1)
+// push and pop with no sift traffic. Pop sites merge the FIFO head with
+// the heap minimum by (at, seq) (see Engine.nextEvent), which keeps the
+// interleaving with heap events exactly what a single heap would
+// produce.
+type nowQueue struct {
+	a    []event
+	head int
+}
+
+func (q *nowQueue) len() int { return len(q.a) - q.head }
+
+// headKey returns the (at, seq) key of the oldest queued event; the
+// queue must be non-empty.
+func (q *nowQueue) headKey() evKey {
+	ev := &q.a[q.head]
+	return evKey{at: ev.at, seq: ev.seq}
+}
+
+func (q *nowQueue) push(ev event) { q.a = append(q.a, ev) }
+
+func (q *nowQueue) pop() event {
+	ev := q.a[q.head]
+	q.a[q.head] = event{} // clear fn/p/run so the slot retains nothing
+	q.head++
+	if q.head == len(q.a) {
+		q.a = q.a[:0]
+		q.head = 0
+	}
+	return ev
 }
 
 // Engine is a discrete-event simulator. Create one with New, spawn
@@ -166,6 +239,7 @@ func (h *eventHeap) siftDown() {
 type Engine struct {
 	now    Time
 	events eventHeap
+	nowq   nowQueue // same-time events, run before the heap
 	seq    uint64
 	yield  chan struct{}
 	procs  []*Proc
@@ -173,6 +247,8 @@ type Engine struct {
 	rng    *rand.Rand
 
 	executed  int64 // events executed, for the watchdog
+	inlined   int64 // Advance calls completed inline (no park/resume)
+	fastOff   bool  // disable run-to-completion fast paths (A/B testing)
 	maxEvents int64 // watchdog: 0 disables
 	maxTime   Time  // watchdog: 0 disables
 
@@ -209,6 +285,39 @@ func (e *Engine) Now() Time { return e.now }
 // used from simulation context (event callbacks or running processes).
 func (e *Engine) Rand() *rand.Rand { return e.rng }
 
+// schedule routes an event to the now-queue or the heap. Every event at
+// exactly the current time joins the FIFO: its entries are in seq order
+// by construction (seq is monotonic), and the pop sites merge the FIFO
+// head against the heap minimum by (at, seq), so the global execution
+// order is exactly what a single heap would produce while same-time
+// events skip the sift traffic entirely — the same-time event fusion of
+// the run-to-completion fast path.
+func (e *Engine) schedule(ev event) {
+	if ev.at == e.now && !e.fastOff {
+		e.nowq.push(ev)
+		return
+	}
+	e.events.push(ev)
+}
+
+// nextEvent pops the globally next event by (at, seq), merging the
+// now-queue with the heap. ok is false when both are empty. The
+// now-queue drains before the clock can advance: its entries carry
+// at == now, which no heap event can beat without an equal at and a
+// smaller seq.
+func (e *Engine) nextEvent() (event, bool) {
+	if e.nowq.len() > 0 {
+		if e.events.len() > 0 && e.events.k[0].before(e.nowq.headKey()) {
+			return e.events.pop(), true
+		}
+		return e.nowq.pop(), true
+	}
+	if e.events.len() > 0 {
+		return e.events.pop(), true
+	}
+	return event{}, false
+}
+
 // At schedules fn to run at virtual time t. Scheduling in the past is an
 // error in the model and panics.
 func (e *Engine) At(t Time, fn func()) {
@@ -216,14 +325,63 @@ func (e *Engine) At(t Time, fn func()) {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
 	e.seq++
-	e.events.push(event{at: t, seq: e.seq, fn: fn})
+	e.schedule(event{at: t, seq: e.seq, fn: fn})
 }
+
+// AtRun schedules r.Step() at virtual time t. It is At for Runner
+// implementations: scheduling a pointer-backed Runner allocates
+// nothing, which is why the RMA message path uses it for every stage of
+// an operation's lifecycle.
+func (e *Engine) AtRun(t Time, r Runner) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	e.seq++
+	e.schedule(event{at: t, seq: e.seq, run: r, kind: evRun})
+}
+
+// AfterRun schedules r.Step() d from now.
+func (e *Engine) AfterRun(d Duration, r Runner) { e.AtRun(e.now.Add(d), r) }
+
+// scheduleReserved schedules r at (t, seq) where seq was reserved at an
+// earlier instant (see Server.enqueue). The event goes straight to the
+// heap: the now-queue's FIFO ordering only holds for monotone seq, and
+// the heap orders arbitrary keys — the pop-side merge keeps the global
+// order exact either way.
+func (e *Engine) scheduleReserved(t Time, seq uint64, r Runner) {
+	e.events.push(event{at: t, seq: seq, run: r, kind: evRun})
+}
+
+// ReserveSeq allocates the next event sequence number without
+// scheduling anything. Callers that keep their own FIFO of future
+// events (completion times monotone within the FIFO) reserve each
+// event's seq up front and schedule only the head via AtRunReserved;
+// the executed timeline is then identical to scheduling everything
+// eagerly, while the heap holds one resident event per FIFO.
+func (e *Engine) ReserveSeq() uint64 {
+	e.seq++
+	return e.seq
+}
+
+// AtRunReserved schedules r.Step() at t under a previously reserved
+// sequence number (see ReserveSeq).
+func (e *Engine) AtRunReserved(t Time, seq uint64, r Runner) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	e.scheduleReserved(t, seq, r)
+}
+
+// FastPathsDisabled reports whether DisableFastPaths was called, so
+// layered schedulers can keep their own fast paths aligned with the
+// engine's A/B knob.
+func (e *Engine) FastPathsDisabled() bool { return e.fastOff }
 
 // atResume schedules a closure-free resume of p at t (the Advance and
 // wake hot path).
 func (e *Engine) atResume(t Time, p *Proc) {
 	e.seq++
-	e.events.push(event{at: t, seq: e.seq, p: p, kind: evResume})
+	e.schedule(event{at: t, seq: e.seq, p: p, kind: evResume})
 }
 
 // After schedules fn to run d from now.
@@ -237,7 +395,7 @@ func (e *Engine) AtBG(t Time, fn func()) {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
 	e.seq++
-	e.events.push(event{at: t, seq: e.seq, fn: fn, bg: true})
+	e.schedule(event{at: t, seq: e.seq, fn: fn, bg: true})
 }
 
 // AfterBG is AtBG relative to now.
@@ -276,7 +434,47 @@ func (e *Engine) collectDiagnostics() []string {
 }
 
 // EventsExecuted returns the number of events Run has executed so far.
+// Inline-completed advances count: they are resume events whose
+// park/resume round trip was elided, not eliminated work.
 func (e *Engine) EventsExecuted() int64 { return e.executed }
+
+// InlinedAdvances returns how many Advance calls completed inline —
+// without parking, waking, or touching the event heap — under the
+// run-to-completion fast path.
+func (e *Engine) InlinedAdvances() int64 { return e.inlined }
+
+// DisableFastPaths turns off the run-to-completion optimizations
+// (inline advance and same-time event fusion), forcing every event
+// through the heap and every Advance through a park/resume pair. Runs
+// are bit-identical either way — the knob exists so tests can assert
+// exactly that, and so regressions can be bisected to the fast path.
+func (e *Engine) DisableFastPaths() { e.fastOff = true }
+
+// advanceInlineOK reports whether a running process may advance the
+// clock to t without parking: nothing else is scheduled to run before
+// (or at) t, so popping the resume event would be the engine's
+// immediate next action anyway. Inlining is also suppressed while any
+// watchdog is armed, keeping watchdog trip points (which are observed
+// between events) bit-identical to the slow path.
+func (e *Engine) advanceInlineOK(t Time) bool {
+	if e.fastOff || e.maxEvents > 0 || e.maxTime > 0 || e.stallEvents > 0 {
+		return false
+	}
+	return e.nowq.len() == 0 && (e.events.len() == 0 || e.events.minTime() > t)
+}
+
+// noteInlineAdvance commits an inline advance to t: the engine state
+// mutates exactly as if the resume event had been pushed, popped and
+// executed — clock, event count, seq and stall bookkeeping all match
+// the slow path bit for bit.
+func (e *Engine) noteInlineAdvance(t Time) {
+	e.seq++
+	e.lastAdvance = t
+	e.lastAdvanceExec = e.executed
+	e.now = t
+	e.executed++
+	e.inlined++
+}
 
 // Kill terminates a process from engine context without resuming it:
 // the process is removed from the live count and every future attempt
@@ -326,7 +524,7 @@ func (e *Engine) SpawnAt(t Time, name string, fn func(p *Proc)) *Proc {
 		fn(p)
 	}()
 	e.seq++
-	e.events.push(event{at: t, seq: e.seq, p: p, kind: evStart})
+	e.schedule(event{at: t, seq: e.seq, p: p, kind: evStart})
 	return p
 }
 
@@ -399,39 +597,66 @@ func (e *Engine) stuckProcs() []string {
 	return out
 }
 
+// driveOK reports whether run-to-completion driving is enabled: a
+// parked process may then execute the event loop itself (see
+// Proc.drive). Disabled alongside the other fast paths whenever a
+// watchdog is armed, because the Run loop checks its limits between
+// events and a driving process does not.
+func (e *Engine) driveOK() bool {
+	return !e.fastOff && e.maxEvents == 0 && e.maxTime == 0 && e.stallEvents == 0
+}
+
+// execOne commits the clock/bookkeeping mutation for ev and runs it if
+// it is an engine-context event (fn or Runner). For resume/start events
+// it only does the bookkeeping and returns the process to transfer to —
+// the caller decides how to hand control over (the engine blocks in
+// transfer; a driving process hands off directly). A nil return with
+// ok=true means the event is fully handled.
+func (e *Engine) execOne(ev event) *Proc {
+	if ev.at > e.now || e.executed == 0 {
+		e.lastAdvance = ev.at
+		e.lastAdvanceExec = e.executed
+	}
+	e.now = ev.at
+	e.executed++
+	switch ev.kind {
+	case evFn:
+		ev.fn()
+	case evRun:
+		ev.run.Step()
+	case evResume:
+		if p := ev.p; !p.killed {
+			if p.state != stateParked {
+				panic(fmt.Sprintf("sim: waking %s which is not parked", p.name))
+			}
+			return p
+		}
+	case evStart:
+		if p := ev.p; p.state == stateNew && !p.killed {
+			p.state = stateRunning
+			return p
+		}
+	}
+	return nil
+}
+
 // Run executes events until none remain. It returns a *DeadlockError if
 // processes remain parked with no pending events, a *WatchdogError if a
 // SetWatchdog limit is exceeded, and nil otherwise.
 func (e *Engine) Run() error {
-	for e.events.len() > 0 {
-		ev := e.events.pop()
+	for {
+		ev, ok := e.nextEvent()
+		if !ok {
+			break
+		}
 		if ev.bg && e.live <= 0 {
 			// Background housekeeping after the last process finished:
 			// discard without running or advancing the clock, so the
 			// end time is exactly what the processes produced.
 			continue
 		}
-		if ev.at > e.now || e.executed == 0 {
-			e.lastAdvance = ev.at
-			e.lastAdvanceExec = e.executed
-		}
-		e.now = ev.at
-		e.executed++
-		switch ev.kind {
-		case evFn:
-			ev.fn()
-		case evResume:
-			if p := ev.p; !p.killed {
-				if p.state != stateParked {
-					panic(fmt.Sprintf("sim: waking %s which is not parked", p.name))
-				}
-				e.transfer(p)
-			}
-		case evStart:
-			if p := ev.p; p.state == stateNew && !p.killed {
-				p.state = stateRunning
-				e.transfer(p)
-			}
+		if p := e.execOne(ev); p != nil {
+			e.transfer(p)
 		}
 		if e.maxEvents > 0 && e.executed >= e.maxEvents {
 			return &WatchdogError{Time: e.now, Events: e.executed,

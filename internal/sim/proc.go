@@ -41,6 +41,13 @@ func (p *Proc) String() string { return fmt.Sprintf("proc(%s)", p.name) }
 
 // Advance consumes d of virtual time, modeling computation or a fixed
 // latency. Other processes and events run in the meantime.
+//
+// Run-to-completion fast path: when nothing else is scheduled before
+// now+d, the park/resume round trip is pure overhead — the engine would
+// immediately pop this process's own resume event and switch straight
+// back. In that case the clock advances inline and the process keeps
+// running, eliding two goroutine switches and a heap push/pop. The
+// observable schedule is identical (see Engine.advanceInlineOK).
 func (p *Proc) Advance(d Duration) {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: %s advancing by negative duration %v", p.name, d))
@@ -49,7 +56,12 @@ func (p *Proc) Advance(d Duration) {
 		return
 	}
 	e := p.eng
-	e.atResume(e.now.Add(d), p)
+	t := e.now.Add(d)
+	if e.advanceInlineOK(t) {
+		e.noteInlineAdvance(t)
+		return
+	}
+	e.atResume(t, p)
 	p.park("advancing")
 }
 
@@ -62,16 +74,58 @@ func (p *Proc) AdvanceTo(t Time) {
 }
 
 // park blocks the process until something resumes it. reason appears in
-// deadlock reports. The yield deposit never blocks (one-slot semaphore
-// under strict alternation), so a park is a single blocking channel
-// operation.
+// deadlock reports. With the run-to-completion fast paths enabled the
+// parked process drives the event loop itself instead of bouncing
+// through the engine goroutine (see drive); otherwise the yield deposit
+// never blocks (one-slot semaphore under strict alternation), so a park
+// is a single blocking channel operation.
 func (p *Proc) park(reason string) {
 	p.state = stateParked
 	p.parkReason = reason
-	p.eng.yield <- struct{}{}
-	<-p.resume
+	e := p.eng
+	if e.driveOK() {
+		p.drive()
+	} else {
+		e.yield <- struct{}{}
+		<-p.resume
+	}
 	p.state = stateRunning
 	p.parkReason = ""
+}
+
+// drive runs the event loop from the parked process's own goroutine.
+// fn/Runner events execute inline with no channel traffic at all; when
+// the process's own resume event comes up it simply keeps running; a
+// resume of a different process is handed off goroutine-to-goroutine,
+// halving the switch cost of the park → engine → resume round trip.
+// Event order is exactly Run's — drive pops the same queues in the same
+// order and shares Run's bookkeeping (execOne) — so a run is
+// bit-identical whether the engine or a process drives. The engine
+// goroutine stays blocked in transfer throughout and only takes over
+// again when a process exits or the queues drain.
+func (p *Proc) drive() {
+	e := p.eng
+	for {
+		ev, ok := e.nextEvent()
+		if !ok {
+			// Nothing can ever wake us: hand back to Run, which
+			// reports the deadlock (or finishes, after a kill).
+			e.yield <- struct{}{}
+			<-p.resume
+			return
+		}
+		if ev.bg && e.live <= 0 {
+			continue
+		}
+		if q := e.execOne(ev); q != nil {
+			if q == p {
+				return // own wakeup: keep running, zero channel ops
+			}
+			q.resume <- struct{}{}
+			<-p.resume
+			return
+		}
+	}
 }
 
 // wake schedules the parked process to resume at the current virtual
@@ -104,7 +158,13 @@ func (s *Signal) Wait(p *Proc, reason string) {
 // Broadcast wakes every current waiter.
 func (s *Signal) Broadcast() {
 	ws := s.waiters
-	s.waiters = nil
+	if len(ws) == 0 {
+		return
+	}
+	// Reuse the backing array: wake only schedules resume events, so no
+	// waiter re-registers until after this loop returns (strict
+	// alternation), and re-Waits then overwrite slots already consumed.
+	s.waiters = ws[:0]
 	for _, p := range ws {
 		p.wake()
 	}

@@ -43,11 +43,35 @@ func (q *Queue[T]) Get(p *Proc, reason string) T {
 // submitted to it execute one at a time in submission order, each
 // occupying the server for its duration. The zero value is an idle
 // server.
+//
+// Completion times of a serial server are monotone in submission order,
+// so only the job at the head of the backlog keeps an event in the
+// engine's heap; the rest wait in a private FIFO and are promoted one at
+// a time as completions fire. A deep backlog (a saturated ghost under
+// all-to-all load) therefore costs O(1) heap residency instead of one
+// heap entry per queued job — sift depth stays flat no matter how
+// overloaded the server gets. Each job's event sequence number is
+// reserved at submission, which makes the executed timeline — every
+// (time, seq) pair — identical to scheduling all completions eagerly.
 type Server struct {
 	eng       *Engine
 	busyUntil Time
 	busy      Duration // total busy time, for utilization accounting
 	jobs      int
+
+	headLive bool      // a completion event for head is in the heap
+	head     serverJob // job whose completion event is in flight
+	pending  []serverJob
+	pendHead int
+}
+
+// serverJob is one queued completion callback with its reserved event
+// identity.
+type serverJob struct {
+	end Time
+	seq uint64
+	fn  func()
+	r   Runner
 }
 
 // NewServer returns an idle serial server on e.
@@ -57,6 +81,78 @@ func NewServer(e *Engine) *Server { return &Server{eng: e} }
 // service, and invokes fn (if non-nil) when it finishes. It returns the
 // job's completion time. Submit does not block the caller.
 func (s *Server) Submit(ready Time, d Duration, fn func()) Time {
+	end := s.occupy(ready, d)
+	if fn != nil {
+		s.enqueue(serverJob{end: end, fn: fn})
+	}
+	return end
+}
+
+// SubmitRun is Submit with a closure-free completion callback: r.Step()
+// runs when the job finishes. The hot AM service path uses it so that
+// queuing a job allocates nothing.
+func (s *Server) SubmitRun(ready Time, d Duration, r Runner) Time {
+	end := s.occupy(ready, d)
+	s.enqueue(serverJob{end: end, r: r})
+	return end
+}
+
+// enqueue reserves the job's event seq (exactly where an eager schedule
+// would have assigned it) and either schedules its completion or parks
+// it behind the current head.
+func (s *Server) enqueue(job serverJob) {
+	e := s.eng
+	if e.fastOff {
+		// Slow path for A/B bisection: every completion goes through
+		// the heap eagerly.
+		if job.r != nil {
+			e.AtRun(job.end, job.r)
+		} else {
+			e.At(job.end, job.fn)
+		}
+		return
+	}
+	e.seq++
+	job.seq = e.seq
+	if s.headLive {
+		s.pending = append(s.pending, job)
+		return
+	}
+	s.head, s.headLive = job, true
+	e.scheduleReserved(job.end, job.seq, s)
+}
+
+// Step fires the head job's completion and promotes the next queued job,
+// re-using the seq reserved at its submission so the event order is
+// exactly the eager schedule's. It is the Runner the server registers
+// for its resident heap event; promotion happens before the callback so
+// a callback that resubmits sees consistent state.
+func (s *Server) Step() {
+	job := s.head
+	if s.pendHead < len(s.pending) {
+		next := s.pending[s.pendHead]
+		s.pending[s.pendHead] = serverJob{}
+		s.pendHead++
+		if s.pendHead == len(s.pending) {
+			s.pending = s.pending[:0]
+			s.pendHead = 0
+		}
+		s.head = next
+		s.eng.scheduleReserved(next.end, next.seq, s)
+	} else {
+		s.head = serverJob{}
+		s.headLive = false
+	}
+	if job.r != nil {
+		job.r.Step()
+	} else if job.fn != nil {
+		job.fn()
+	}
+}
+
+// occupy reserves the server for a d-long job runnable at ready and
+// returns its completion time.
+func (s *Server) occupy(ready Time, d Duration) Time {
 	start := s.eng.now
 	if ready > start {
 		start = ready
@@ -68,9 +164,6 @@ func (s *Server) Submit(ready Time, d Duration, fn func()) Time {
 	s.busyUntil = end
 	s.busy += d
 	s.jobs++
-	if fn != nil {
-		s.eng.At(end, fn)
-	}
 	return end
 }
 

@@ -38,6 +38,7 @@ type Tracer struct {
 	enabled  bool
 	services []Service
 	faults   []Fault
+	labels   map[string]string
 }
 
 // New returns an enabled tracer.
@@ -46,11 +47,39 @@ func New() *Tracer { return &Tracer{enabled: true} }
 // Enabled reports whether records are being kept.
 func (t *Tracer) Enabled() bool { return t != nil && t.enabled }
 
+// Reserve pre-sizes the service record buffer. Long traces append
+// millions of records; reserving once avoids the doubling reallocations
+// (and the copying) mid-run.
+func (t *Tracer) Reserve(n int) {
+	if !t.Enabled() || cap(t.services) >= n {
+		return
+	}
+	grown := make([]Service, len(t.services), n)
+	copy(grown, t.services)
+	t.services = grown
+}
+
+// intern returns the canonical instance of a label. Producers that
+// build label strings dynamically would otherwise leave one copy per
+// retained record; deduplicating at record time keeps a trace's label
+// footprint proportional to the number of distinct labels.
+func (t *Tracer) intern(s string) string {
+	if c, ok := t.labels[s]; ok {
+		return c
+	}
+	if t.labels == nil {
+		t.labels = make(map[string]string, 8)
+	}
+	t.labels[s] = s
+	return s
+}
+
 // RecordService appends one record. Safe to call on a nil tracer.
 func (t *Tracer) RecordService(s Service) {
 	if !t.Enabled() {
 		return
 	}
+	s.Kind = t.intern(s.Kind)
 	t.services = append(t.services, s)
 }
 
@@ -76,6 +105,7 @@ func (t *Tracer) RecordFault(f Fault) {
 	if !t.Enabled() {
 		return
 	}
+	f.Kind = t.intern(f.Kind)
 	t.faults = append(t.faults, f)
 }
 

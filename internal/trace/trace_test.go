@@ -3,6 +3,7 @@ package trace
 import (
 	"strings"
 	"testing"
+	"unsafe"
 
 	"repro/internal/sim"
 )
@@ -62,4 +63,58 @@ func TestServiceDelay(t *testing.T) {
 	if s.Delay() != 25 {
 		t.Fatalf("delay = %v", s.Delay())
 	}
+}
+
+// TestLabelInterning: records with equal but distinct label strings
+// must share one canonical instance after recording, so retained traces
+// hold one copy per distinct label rather than one per record.
+func TestLabelInterning(t *testing.T) {
+	tr := New()
+	a := strings.Clone("DYN_KIND")
+	b := strings.Clone("DYN_KIND")
+	s := svc(0, 1, 0, 0, 1, false, false)
+	s.Kind = a
+	tr.RecordService(s)
+	s.Kind = b
+	tr.RecordService(s)
+	got := tr.Services()
+	if got[0].Kind != "DYN_KIND" || got[1].Kind != "DYN_KIND" {
+		t.Fatalf("kinds = %q, %q", got[0].Kind, got[1].Kind)
+	}
+	if unsafe.StringData(got[0].Kind) != unsafe.StringData(got[1].Kind) {
+		t.Error("equal service labels not interned to one instance")
+	}
+	tr.RecordFault(Fault{Kind: strings.Clone("reroute"), Rank: 1, Peer: 2})
+	tr.RecordFault(Fault{Kind: strings.Clone("reroute"), Rank: 2, Peer: 1})
+	fs := tr.Faults()
+	if unsafe.StringData(fs[0].Kind) != unsafe.StringData(fs[1].Kind) {
+		t.Error("equal fault labels not interned to one instance")
+	}
+}
+
+func TestReserve(t *testing.T) {
+	tr := New()
+	tr.RecordService(svc(0, 1, 0, 0, 1, false, false))
+	tr.Reserve(1024)
+	if cap(tr.services) < 1024 {
+		t.Fatalf("cap = %d after Reserve(1024)", cap(tr.services))
+	}
+	if len(tr.Services()) != 1 || tr.Services()[0].Rank != 0 {
+		t.Fatal("Reserve lost existing records")
+	}
+	base := &tr.services[:cap(tr.services)][0]
+	for i := 0; i < 1023; i++ {
+		tr.RecordService(svc(i, 0, 0, 0, 1, false, false))
+	}
+	if &tr.services[0] != base {
+		t.Error("appends within reserved capacity reallocated the buffer")
+	}
+	// Disabled and nil tracers ignore Reserve.
+	var zero Tracer
+	zero.Reserve(64)
+	if cap(zero.services) != 0 {
+		t.Error("disabled tracer reserved")
+	}
+	var nilT *Tracer
+	nilT.Reserve(64) // must not panic
 }
