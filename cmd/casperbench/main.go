@@ -35,6 +35,7 @@ func main() {
 		seed       = flag.Int64("seed", 42, "simulation seed")
 		quick      = flag.Bool("quick", false, "CI smoke mode: shorthand for -scale 0.12")
 		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "sweep worker goroutines (1 = serial)")
+		chaosSeed  = flag.Int64("chaosseed", 0, "faultchaos: replay this single chaos seed verbosely (0 = full sweep)")
 		benchID    = flag.String("bench", "", "experiment id to benchmark serial vs -parallel")
 		benchOut   = flag.String("benchout", "", "write the -bench JSON baseline to this file (default stdout)")
 		allocGate  = flag.String("allocgate", "", "with -bench: fail if allocs/event exceeds this committed baseline JSON by more than 0.05")
@@ -45,7 +46,7 @@ func main() {
 	if *quick {
 		*scale = 0.12
 	}
-	opts := bench.Options{Scale: *scale, Seed: *seed, Parallel: *parallel}
+	opts := bench.Options{Scale: *scale, Seed: *seed, Parallel: *parallel, ChaosSeed: *chaosSeed}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -86,22 +87,31 @@ func main() {
 			fatalf("casperbench: %v", err)
 		}
 	case *all:
+		failed := false
 		for _, e := range bench.All() {
-			emit(e, opts, *csv)
+			failed = emit(e, opts, *csv) || failed
+		}
+		if failed {
+			os.Exit(1)
 		}
 	case *run != "":
 		e, ok := bench.Get(*run)
 		if !ok {
 			fatalf("casperbench: unknown experiment %q (try -list)", *run)
 		}
-		emit(e, opts, *csv)
+		if emit(e, opts, *csv) {
+			os.Exit(1)
+		}
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
 }
 
-func emit(e bench.Experiment, o bench.Options, csv bool) {
+// emit renders one experiment. Recovery summaries go to stderr so the
+// stdout tables stay byte-comparable across releases; the return value
+// reports an invariant violation (the process then exits nonzero).
+func emit(e bench.Experiment, o bench.Options, csv bool) bool {
 	res := e.Run(o)
 	if csv {
 		fmt.Print(res.CSV())
@@ -109,6 +119,13 @@ func emit(e bench.Experiment, o bench.Options, csv bool) {
 		fmt.Print(res.Table())
 	}
 	fmt.Println()
+	for _, line := range res.Recovery {
+		fmt.Fprintln(os.Stderr, line)
+	}
+	if res.Failed {
+		fmt.Fprintf(os.Stderr, "casperbench: %s: invariant violations (see FAIL notes above)\n", res.ID)
+	}
+	return res.Failed
 }
 
 // baseline is the BENCH_*.json schema: one serial and one parallel

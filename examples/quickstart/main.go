@@ -1,7 +1,8 @@
 // Quickstart: launch a simulated 2-node cluster, deploy Casper with one
 // ghost process per node, and watch an accumulate to a busy target
 // complete asynchronously — the paper's headline behaviour, in ~60
-// lines of application code.
+// lines of application code. A third run crashes the sequencer ghost
+// mid-epoch to show the recovery machinery riding along.
 //
 // Run with:
 //
@@ -13,6 +14,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/mpi"
 	"repro/internal/netmodel"
 	"repro/internal/sim"
@@ -45,7 +47,7 @@ func workload(env mpi.Env, report func(string, sim.Duration)) {
 	}
 }
 
-func run(name string, ghosts int) {
+func run(name string, ghosts int, plan *fault.Plan) {
 	fmt.Printf("%s:\n", name)
 	ppn := 2
 	n := 2 * ppn // 2 nodes
@@ -59,10 +61,11 @@ func run(name string, ghosts int) {
 		Net:     netmodel.CrayXC30(),
 		Seed:    1,
 	}
+	cfg.Fault = plan
 	report := func(what string, d sim.Duration) {
 		fmt.Printf("  %s: %v\n", what, d)
 	}
-	_, err := mpi.Run(cfg, func(r *mpi.Rank) {
+	w, err := mpi.Run(cfg, func(r *mpi.Rank) {
 		if ghosts > 0 {
 			p, ghost := core.Init(r, core.Config{NumGhosts: ghosts})
 			if ghost {
@@ -77,12 +80,34 @@ func run(name string, ghosts int) {
 	if err != nil {
 		panic(err)
 	}
+	if plan != nil {
+		// One-line recovery summary whenever a fault plan is active.
+		s := w.Summary()
+		fmt.Printf("  recovery: ghosts_failed=%d suspects=%d successions=%d locks_reclaimed=%d rebinds=%d reroutes=%d\n",
+			s.RanksFailed, s.Suspects, s.Successions, s.LocksReclaimed, s.Rebinds, s.Reroutes)
+	}
 }
 
 func main() {
 	fmt.Println("Casper quickstart: accumulate to a target that computes for 500us")
 	fmt.Println()
-	run("Plain MPI (no asynchronous progress: origin stalls)", 0)
+	run("Plain MPI (no asynchronous progress: origin stalls)", 0, nil)
 	fmt.Println()
-	run("Casper (1 ghost per node: ghost services the accumulate)", 1)
+	run("Casper (1 ghost per node: ghost services the accumulate)", 1, nil)
+	fmt.Println()
+
+	// Crash the sequencer — the lowest ghost rank, which orders every
+	// deployment command — 100us into the run, while the target is
+	// still computing. The next-lowest surviving ghost takes over, the
+	// dead ghost's locks are reclaimed, and the target memory comes out
+	// identical to the fault-free Casper run above.
+	ghosts, err := core.GhostRanks(
+		cluster.Machine{Nodes: 2, CoresPerNode: 24, NUMAPerNode: 2}, 4, 2, 1)
+	if err != nil {
+		panic(err)
+	}
+	run("Casper under fire (sequencer ghost crashes at 100us)", 1, &fault.Plan{
+		Seed:    1,
+		Crashes: []fault.Crash{{Rank: ghosts[0][0], At: sim.Time(100 * sim.Microsecond)}},
+	})
 }

@@ -29,6 +29,11 @@ type Options struct {
 	// point is a self-contained deterministic simulation, so results
 	// are bit-identical at any setting. <= 1 runs serially.
 	Parallel int
+	// ChaosSeed, when positive, restricts the faultchaos experiment to
+	// that single seed and reports its schedule and outcome verbosely —
+	// the one-command replay for a failing seed. Zero runs the full
+	// sweep. Ignored by every other experiment.
+	ChaosSeed int64
 }
 
 func (o Options) withDefaults() Options {
@@ -65,6 +70,15 @@ type Result struct {
 	X      []float64
 	Series []Series
 	Notes  []string
+	// Recovery carries one-line recovery summaries for runs where a
+	// fault plan actually acted (failovers, successions, reclaimed
+	// locks). casperbench prints these to stderr so stdout tables stay
+	// byte-identical to fault-free-era output.
+	Recovery []string
+	// Failed marks an invariant violation (chaos seeds that broke
+	// bit-identity, validator cleanliness, or completion). casperbench
+	// exits nonzero when set.
+	Failed bool
 }
 
 // Experiment is one registered reproduction target.

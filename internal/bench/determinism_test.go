@@ -54,7 +54,10 @@ func TestParallelSweepIdentical(t *testing.T) {
 	// have the most intricate cross-run aggregation (notes built from
 	// per-point records, sequential baseline->crash pairs), so they are
 	// the most likely to betray an index mix-up under parallel order.
-	for _, id := range []string{"fig5a", "overload", "faultrecover"} {
+	// faultchaos adds hundreds of seeded fault worlds whose invariant
+	// checks compare against serially-built baselines — chaos recovery
+	// itself must be bit-stable under any worker count.
+	for _, id := range []string{"fig5a", "overload", "faultrecover", "faultchaos"} {
 		id := id
 		t.Run(id, func(t *testing.T) {
 			t.Parallel()

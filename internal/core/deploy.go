@@ -20,6 +20,7 @@ const (
 	cmdWinCreate = byte(1)
 	cmdShutdown  = byte(2)
 	cmdWinFree   = byte(3)
+	cmdSucceed   = byte(4) // engine-injected: take over as sequencer (fault worlds)
 )
 
 // deployment is the per-rank view of the ghost-process carving performed
@@ -36,6 +37,10 @@ type deployment struct {
 	ghostsByNode [][]int // node -> ghost world ranks
 	usersByNode  [][]int // node -> user world ranks
 	maxUsers     int     // max users on any node (internal window count, III-A)
+
+	// journal is the replayable command log enabling sequencer
+	// succession; nil in fault-free worlds (see journal.go).
+	journal *cmdJournal
 }
 
 // ghostLocalIndices returns the node-local indices (0..ppn-1) reserved
@@ -170,6 +175,12 @@ func Init(r *mpi.Rank, cfg Config) (*Process, bool) {
 	}
 	d.userComm = world.Split(color, r.Rank())
 
+	// Fault worlds log every command so the sequencer role can migrate
+	// after a crash; fault-free worlds keep the seed command path.
+	if r.World().FaultsEnabled() {
+		d.journal = journalFor(r, d)
+	}
+
 	if d.isGhost {
 		ghostLoop(r, d)
 		return nil, true
@@ -206,12 +217,17 @@ func (d *deployment) sequencer() int {
 // command, exit on shutdown. The sequencer ghost additionally forwards
 // every command to the other ghosts, in order.
 func ghostLoop(r *mpi.Rank, d *deployment) {
-	isSeq := r.Rank() == d.sequencer()
 	// Windows this ghost participates in, keyed by their creation
 	// command payload and indexed by per-key creation order — the same
 	// (key, index) the user side derives, so windows may be freed in
 	// any order.
 	wins := map[string][]*ghostWinSet{}
+	if j := d.journal; j != nil {
+		ghostLoopJournal(r, d, j, wins)
+		j.exited[r.Rank()] = true
+		return
+	}
+	isSeq := r.Rank() == d.sequencer()
 	for {
 		data, _ := d.world.Recv(mpi.AnySource, tagGhostCmd)
 		if len(data) == 0 {
@@ -226,33 +242,80 @@ func ghostLoop(r *mpi.Rank, d *deployment) {
 				}
 			}
 		}
-		switch data[0] {
-		case cmdShutdown:
+		if handleGhostCmd(r, d, wins, data) {
 			return
-		case cmdWinCreate:
-			epochs, users, err := parseWinCmd(data[1:])
-			if err != nil {
-				panic(err)
-			}
-			key := string(data[1:])
-			set := ghostJoinWindow(r, d, epochs, users)
-			wins[key] = append(wins[key], &set)
-		case cmdWinFree:
-			key, idx, err := parseFreeCmd(data[1:])
-			if err != nil {
-				panic(err)
-			}
-			sets := wins[key]
-			if idx >= len(sets) || sets[idx] == nil {
-				panic(fmt.Sprintf("casper: free of unknown window instance %d", idx))
-			}
-			set := sets[idx]
-			sets[idx] = nil
-			set.free()
-		default:
-			panic(fmt.Sprintf("casper: unknown ghost command %d", data[0]))
 		}
 	}
+}
+
+// ghostLoopJournal is the ghost service loop of fault worlds: every
+// received command message is a doorbell that executes exactly one
+// logged entry, the acting-sequencer role is checked dynamically, and a
+// cmdSucceed doorbell hands the role over (see journal.go). In worlds
+// where the sequencer never dies the message flow — payload bytes, send
+// order, and costs — is identical to the legacy loop above.
+func ghostLoopJournal(r *mpi.Rank, d *deployment, j *cmdJournal, wins map[string][]*ghostWinSet) {
+	for {
+		data, st := d.world.Recv(mpi.AnySource, tagGhostCmd)
+		if len(data) == 0 {
+			panic("casper: empty ghost command")
+		}
+		if data[0] == cmdSucceed {
+			if j.takeover(r, d, wins) {
+				return
+			}
+			continue
+		}
+		if j.seqRank == r.Rank() {
+			if e := j.popPending(st.Source); e != nil {
+				j.order(e)
+				for _, gs := range d.ghostsByNode {
+					for _, g := range gs {
+						if g != r.Rank() {
+							d.world.Send(g, tagGhostCmd, e.data)
+						}
+					}
+				}
+			}
+		}
+		if e := j.take(r.Rank()); e != nil {
+			if handleGhostCmd(r, d, wins, e.data) {
+				return
+			}
+		}
+	}
+}
+
+// handleGhostCmd executes one ghost command; reports whether the
+// service loop should exit (shutdown).
+func handleGhostCmd(r *mpi.Rank, d *deployment, wins map[string][]*ghostWinSet, data []byte) bool {
+	switch data[0] {
+	case cmdShutdown:
+		return true
+	case cmdWinCreate:
+		epochs, users, err := parseWinCmd(data[1:])
+		if err != nil {
+			panic(err)
+		}
+		key := string(data[1:])
+		set := ghostJoinWindow(r, d, epochs, users)
+		wins[key] = append(wins[key], &set)
+	case cmdWinFree:
+		key, idx, err := parseFreeCmd(data[1:])
+		if err != nil {
+			panic(err)
+		}
+		sets := wins[key]
+		if idx >= len(sets) || sets[idx] == nil {
+			panic(fmt.Sprintf("casper: free of unknown window instance %d", idx))
+		}
+		set := sets[idx]
+		sets[idx] = nil
+		set.free()
+	default:
+		panic(fmt.Sprintf("casper: unknown ghost command %d", data[0]))
+	}
+	return false
 }
 
 // ghostWinSet holds the ghost's handles of one Casper window's internal

@@ -121,7 +121,10 @@ func TestRebindSurvivesGhostCrash(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	victim := ghosts[0][len(ghosts[0])-1] // last ghost of node 0: never the sequencer
+	// Last ghost of node 0: an ordinary ghost, so this test isolates the
+	// rebind/failover path (sequencer death and succession are covered by
+	// recovery_test.go and the faultchaos sweep).
+	victim := ghosts[0][len(ghosts[0])-1]
 	mcfg.Fault = &fault.Plan{
 		Seed:    9,
 		Crashes: []fault.Crash{{Rank: victim, At: sim.Time(150 * sim.Microsecond)}},

@@ -66,9 +66,9 @@ func (p *Process) Finalize() {
 	p.finalized = true
 	p.d.userComm.Barrier()
 	if p.d.userComm.Rank() == 0 {
-		// The sequencer ghost forwards the shutdown to every other
-		// ghost before exiting its own loop.
-		p.d.world.Send(p.d.sequencer(), tagGhostCmd, []byte{cmdShutdown})
+		// The acting sequencer ghost forwards the shutdown to every
+		// other ghost before exiting its own loop.
+		p.d.sendCmd([]byte{cmdShutdown})
 	}
 }
 
@@ -114,7 +114,7 @@ func (p *Process) WinAllocate(comm *mpi.Comm, size int, info mpi.Info) (mpi.Wind
 	// order even when disjoint groups allocate concurrently.
 	cmd := encodeWinCmd(epochs, users)
 	if comm.Rank() == 0 {
-		p.d.world.Send(p.d.sequencer(), tagGhostCmd, cmd)
+		p.d.sendCmd(cmd)
 	}
 
 	// Step 1: node shared window (window users + ghosts), Fig. 2.

@@ -102,6 +102,7 @@ func (cw *casperWin) redirect(kind mpi.OpKind, t, disp int, dt mpi.Datatype,
 	w := cw.winFor(t, ts)
 	if ts != nil && ts.locked {
 		cw.ensureGhostLocks(t, ts, w)
+		cw.reclaimEpochLocks(t, ts, w)
 	}
 
 	pieces := cw.route(kind, t, disp, dt, src, dst, ts, w == cw.active)

@@ -71,6 +71,7 @@ type tinfo struct {
 	lockWinIdx   int   // which overlapping window serves lock epochs to it
 	nodeTotal    int   // total user bytes exposed on its node
 	chunk        int   // segment-binding chunk size on its node (16-aligned)
+	rebound      bool  // a routing preference for this target already failed over once
 
 	lbc []lbCount // cached per-node LB counters (see lbCounts)
 }
@@ -208,6 +209,37 @@ func (cw *casperWin) ensureGhostLocks(t int, ts *ctarget, w *mpi.Win) {
 	ts.ghostsLkd = true
 }
 
+// reclaimEpochLocks re-opens a passive epoch's lock set mid-epoch after
+// a detected ghost failure: any live progress rank for the target not
+// locked when the epoch opened is locked now and added to
+// lockedGhosts, so in-flight and future operations of the *current*
+// epoch reroute immediately instead of waiting for the epoch boundary.
+// The grant cannot deadlock — the lock manager at the dead ghost has
+// already reclaimed its holds and admitted its queue (see
+// mpi/lock.go), and the surviving ghost's manager orders this request
+// like any other. No-op while every originally locked ghost is alive.
+func (cw *casperWin) reclaimEpochLocks(t int, ts *ctarget, w *mpi.Win) {
+	if !ts.ghostsLkd || w == cw.active || !cw.p.r.World().AnyHealthFailure() {
+		return
+	}
+	ti := &cw.layout[t]
+	for _, g := range cw.progressRanks(ti) {
+		have := false
+		for _, l := range ts.lockedGhosts {
+			if l == g {
+				have = true
+				break
+			}
+		}
+		if have {
+			continue
+		}
+		w.Lock(g, ts.lt, mpi.AssertNone)
+		ts.lockedGhosts = append(ts.lockedGhosts, g)
+		cw.p.r.World().NoteEpochRelock(cw.p.r.Rank())
+	}
+}
+
 // progressRanks returns the internal-comm ranks providing target-side
 // progress for t's node: its ghosts normally, the surviving subset
 // after detected failures, or the target user process itself (falling
@@ -242,6 +274,10 @@ func (cw *casperWin) progressTarget(ti *tinfo, preferred int) int {
 	}
 	if !w.HealthFailed(cw.internal.WorldRank(preferred)) {
 		return preferred
+	}
+	if !ti.rebound {
+		ti.rebound = true
+		w.NoteRebind(cw.p.r.Rank())
 	}
 	alive := cw.progressRanks(ti)
 	return alive[cw.p.d.userLocalIndex(ti.world)%len(alive)]
@@ -520,6 +556,7 @@ func (cw *casperWin) Flush(t int) {
 	w := cw.winFor(t, ts)
 	if ts.locked {
 		cw.ensureGhostLocks(t, ts, w)
+		cw.reclaimEpochLocks(t, ts, w)
 	}
 	for _, g := range cw.flushRanks(t, ts, w) {
 		w.Acquire(g)
@@ -536,6 +573,7 @@ func (cw *casperWin) FlushAll() {
 		}
 		w := cw.winFor(t, ts)
 		cw.ensureGhostLocks(t, ts, w)
+		cw.reclaimEpochLocks(t, ts, w)
 		for _, g := range cw.flushRanks(t, ts, w) {
 			w.Acquire(g)
 			w.Flush(g)
@@ -574,8 +612,7 @@ func (cw *casperWin) Free() {
 	}
 	cw.freed = true
 	if cw.comm.Rank() == 0 {
-		cw.p.d.world.Send(cw.p.d.sequencer(), tagGhostCmd,
-			encodeFreeCmd(cw.cmdKey, cw.cmdIdx))
+		cw.p.d.sendCmd(encodeFreeCmd(cw.cmdKey, cw.cmdIdx))
 	}
 	if cw.active != nil {
 		cw.active.UnlockAll()

@@ -1,0 +1,96 @@
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// ChaosSpec bounds the chaos-plan generator: which ranks may suffer
+// process faults, how many, and over what time span. The generator
+// deliberately knows nothing about roles — the sequencer ghost is as
+// likely a victim as any other, and fault times land anywhere in the
+// run, including inside window construction and open lock epochs.
+type ChaosSpec struct {
+	Ghosts  []int    // crash/stall candidates (world ranks)
+	Nodes   int      // node count, for straggler selection
+	Horizon sim.Time // fault-free end time of the workload being attacked
+
+	MaxCrashes int  // per plan; actual count is seeded-random in [0, max]
+	MaxStalls  int  // per plan; actual count is seeded-random in [0, max]
+	Rates      bool // allow randomized message drop/delay/dup rates
+}
+
+// ChaosPlan derives a complete fault plan from a seed — a pure
+// function, so a failing seed replays the identical schedule anywhere.
+// Crash and stall instants are drawn from [0, 1.15*Horizon]: mostly
+// mid-run, sometimes during window construction near t=0, sometimes
+// after the workload would have finished (exercising the no-op paths).
+func ChaosPlan(seed int64, spec ChaosSpec) *Plan {
+	if spec.Horizon <= 0 {
+		panic(fmt.Sprintf("fault: chaos spec horizon %v not positive", spec.Horizon))
+	}
+	if len(spec.Ghosts) == 0 {
+		panic("fault: chaos spec has no fault candidates")
+	}
+	// Mix the seed so consecutive integers decorrelate before feeding
+	// the (weak) LCG-style source.
+	mixed := int64(uint64(seed)*0x9E3779B97F4A7C15 + 0xBF58476D1CE4E5B9)
+	rng := rand.New(rand.NewSource(mixed))
+	span := int64(spec.Horizon) + int64(spec.Horizon)/7 + 1
+	p := &Plan{Seed: seed}
+
+	for i, n := 0, rng.Intn(spec.MaxCrashes+1); i < n; i++ {
+		p.Crashes = append(p.Crashes, Crash{
+			Rank: spec.Ghosts[rng.Intn(len(spec.Ghosts))],
+			At:   sim.Time(rng.Int63n(span)),
+		})
+	}
+	for i, n := 0, rng.Intn(spec.MaxStalls+1); i < n; i++ {
+		// Durations from well below to well past the detector's grace
+		// period: short stalls must stay invisible, long ones must reach
+		// suspicion without being confirmed dead.
+		p.Stalls = append(p.Stalls, Stall{
+			Rank:     spec.Ghosts[rng.Intn(len(spec.Ghosts))],
+			At:       sim.Time(rng.Int63n(span)),
+			Duration: 10*sim.Microsecond + sim.Duration(rng.Int63n(int64(250*sim.Microsecond))),
+		})
+	}
+	if spec.Rates && rng.Intn(2) == 0 {
+		p.DropRate = rng.Float64() * 0.02
+		p.DelayRate = rng.Float64() * 0.02
+		p.DelayMax = sim.Duration(1+rng.Int63n(20)) * sim.Microsecond
+		p.DupRate = rng.Float64() * 0.01
+	}
+	if spec.Nodes > 0 && rng.Intn(3) == 0 {
+		p.Stragglers = map[int]float64{
+			rng.Intn(spec.Nodes): 1.05 + rng.Float64()*0.5,
+		}
+	}
+	return p
+}
+
+// Describe renders a plan as one deterministic line, for chaos-failure
+// reports.
+func (p *Plan) Describe() string {
+	var parts []string
+	for _, c := range p.Crashes {
+		parts = append(parts, fmt.Sprintf("crash[r%d@%v]", c.Rank, c.At))
+	}
+	for _, s := range p.Stalls {
+		parts = append(parts, fmt.Sprintf("stall[r%d@%v+%v]", s.Rank, s.At, s.Duration))
+	}
+	if !p.zeroRates() {
+		parts = append(parts, fmt.Sprintf("rates[drop=%.4f delay=%.4f dup=%.4f max=%v]",
+			p.DropRate, p.DelayRate, p.DupRate, p.DelayMax))
+	}
+	for node, f := range p.Stragglers { // at most one entry from ChaosPlan
+		parts = append(parts, fmt.Sprintf("straggler[node%d x%.2f]", node, f))
+	}
+	if len(parts) == 0 {
+		return "no-faults"
+	}
+	return strings.Join(parts, " ")
+}

@@ -28,9 +28,11 @@ type Crash struct {
 
 // Stall freezes a rank's progress engine for a duration: active
 // messages arriving in the window are serviced only after it ends, and
-// the rank emits no heartbeats meanwhile. A stall longer than the
-// health monitor's grace period is indistinguishable from a crash to
-// the rest of the system, which is the point.
+// the rank emits no heartbeats meanwhile. A stall past half the health
+// monitor's grace period makes the rank *suspected*; only the
+// two-phase detector's probes (which a stalled rank still answers at
+// the transport level) keep it from being confirmed dead — which is
+// the point.
 type Stall struct {
 	Rank     int
 	At       sim.Time

@@ -92,6 +92,20 @@ type inMsg struct {
 	data   []byte
 }
 
+// InjectLocal delivers a message straight into dest's mailbox at the
+// current instant, from engine context: no wire time, no transport, no
+// MPI call overhead. It is the recovery side channel for layered
+// runtimes — e.g. handing the sequencer role to a successor ghost when
+// the normal path's owner just died. src and dest are comm ranks; the
+// injection is silently dropped at a crashed destination.
+func (c *Comm) InjectLocal(src, dest, tag int, data []byte) {
+	dr := c.g.w.ranks[c.g.ranks[dest]]
+	if dr.failed {
+		return
+	}
+	dr.mailbox.arrive(&inMsg{commID: c.g.id, src: src, tag: tag, data: append([]byte(nil), data...)})
+}
+
 type postedRecv struct {
 	commID int
 	src    int

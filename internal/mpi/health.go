@@ -18,14 +18,23 @@ import (
 //     health-failed and death hooks fire (retransmission failover, the
 //     Casper rebinding machinery).
 //
-// A stalled rank skips its beacons, so a stall longer than the grace
-// period is indistinguishable from a crash to everyone else — which is
-// exactly the ambiguity a real failure detector faces.
+// A stalled rank skips its beacons, so prolonged silence alone cannot
+// distinguish a stall from a crash. Detection is therefore two-phase:
+// after half the grace period of silence a rank becomes *suspected*,
+// and the monitor starts direct probes — transport-level echoes that a
+// stalled-but-alive rank still answers (stalls gate the active-message
+// service path, not wire transit). A rank is *confirmed* dead only
+// once both beacons and probe acks have been silent for the full grace
+// period, and suspicion is dropped (with hysteresis counted as a false
+// suspect) as soon as beacons resume. Confirmation therefore implies
+// ground-truth death, which is what lets the succession and lock
+// reclamation hooks act irrevocably.
 
 // Default health-monitoring parameters.
 const (
 	defaultBeaconInterval = 20 * sim.Microsecond
 	defaultGracePeriod    = 80 * sim.Microsecond
+	defaultProbeRTT       = 10 * sim.Microsecond
 )
 
 // healthState is the world-global failure detector.
@@ -33,8 +42,11 @@ type healthState struct {
 	w          *World
 	interval   sim.Duration
 	grace      sim.Duration
+	probeRTT   sim.Duration
 	tracked    []int // world ranks, in registration order
 	lastSeen   map[int]sim.Time
+	lastAck    map[int]sim.Time // last probe echo per suspected rank
+	suspected  map[int]bool
 	failed     map[int]bool
 	nfailed    int
 	monitoring bool
@@ -50,11 +62,14 @@ func (w *World) TrackHealth(worldRanks []int) {
 	}
 	if w.health == nil {
 		w.health = &healthState{
-			w:        w,
-			interval: defaultBeaconInterval,
-			grace:    defaultGracePeriod,
-			lastSeen: map[int]sim.Time{},
-			failed:   map[int]bool{},
+			w:         w,
+			interval:  defaultBeaconInterval,
+			grace:     defaultGracePeriod,
+			probeRTT:  defaultProbeRTT,
+			lastSeen:  map[int]sim.Time{},
+			lastAck:   map[int]sim.Time{},
+			suspected: map[int]bool{},
+			failed:    map[int]bool{},
 		}
 	}
 	h := w.health
@@ -81,6 +96,14 @@ func (w *World) TrackHealth(worldRanks []int) {
 // ground-truth death (Rank.failed) may precede detection.
 func (w *World) HealthFailed(worldRank int) bool {
 	return w.health != nil && w.health.failed[worldRank]
+}
+
+// HealthSuspected reports whether the rank is in the suspect phase:
+// silent past half the grace period but not yet confirmed dead. A
+// stalled rank suspends here and recovers; a crashed one proceeds to
+// confirmation.
+func (w *World) HealthSuspected(worldRank int) bool {
+	return w.health != nil && w.health.suspected[worldRank]
 }
 
 // AnyHealthFailure reports whether any tracked rank has been declared
@@ -113,20 +136,62 @@ func (h *healthState) beacon(id int) {
 	h.w.eng.AfterBG(h.interval, func() { h.beacon(id) })
 }
 
-// monitor is the recurring sweep declaring ranks dead after the grace
-// period. Tracked ranks are visited in registration order so detection
-// order is deterministic.
+// monitor is the recurring suspect→confirm sweep. Tracked ranks are
+// visited in registration order so detection order is deterministic.
+// Suspicion begins after grace/2 of beacon silence and triggers direct
+// probes; confirmation requires the full grace period without either a
+// beacon or a probe ack, so the confirm instant for a plain crash is
+// exactly the single-phase detector's (a corpse never acks, so the ack
+// clock never moves).
 func (h *healthState) monitor() {
 	now := h.w.eng.Now()
 	for _, id := range h.tracked {
 		if h.failed[id] {
 			continue
 		}
-		if now.Sub(h.lastSeen[id]) > h.grace {
-			h.markFailed(id)
+		quiet := now.Sub(h.lastSeen[id])
+		if h.suspected[id] {
+			if quiet <= h.grace/2 {
+				// Beacons resumed: the rank was stalled, not dead.
+				delete(h.suspected, id)
+				delete(h.lastAck, id)
+				h.w.ranks[id].stats.FalseSuspects++
+				continue
+			}
+			alive := h.lastSeen[id]
+			if ack, ok := h.lastAck[id]; ok && ack > alive {
+				alive = ack
+			}
+			if now.Sub(alive) > h.grace {
+				h.markFailed(id)
+				continue
+			}
+			h.probe(id)
+			continue
+		}
+		if quiet > h.grace/2 {
+			h.suspected[id] = true
+			h.w.ranks[id].stats.Suspects++
+			if t := h.w.tracer; t.Enabled() {
+				t.RecordFault(trace.Fault{Kind: "suspect", Rank: id, Peer: -1, At: now})
+			}
+			h.probe(id)
 		}
 	}
 	h.w.eng.AfterBG(h.interval, h.monitor)
+}
+
+// probe sends one direct liveness probe to a suspected rank. The echo
+// is a transport-level round trip serviced below the active-message
+// layer, so a stalled rank still answers it while a crashed one never
+// does.
+func (h *healthState) probe(id int) {
+	r := h.w.ranks[id]
+	h.w.eng.AfterBG(h.probeRTT, func() {
+		if !r.failed {
+			h.lastAck[id] = h.w.eng.Now()
+		}
+	})
 }
 
 // markFailed records the detection and fires the death hooks
@@ -137,6 +202,8 @@ func (h *healthState) markFailed(id int) {
 	}
 	h.failed[id] = true
 	h.nfailed++
+	delete(h.suspected, id)
+	delete(h.lastAck, id)
 	if t := h.w.tracer; t.Enabled() {
 		t.RecordFault(trace.Fault{Kind: "detect", Rank: id, Peer: -1, At: h.w.eng.Now()})
 	}

@@ -11,6 +11,14 @@ type lockManager struct {
 	exclusive bool
 	queue     []*lockReq
 	grants    int64 // total grants, for tests/inspection
+
+	// dead marks the manager's target as confirmed crashed. A dead
+	// target cannot serialize anything, so the manager stops
+	// arbitrating: the exclusive hold (if any) is downgraded to a
+	// counted shared hold, the whole queue is admitted, and every later
+	// request is granted immediately. Releases keep decrementing the
+	// shared count so epoch teardown stays balanced. See reclaim.
+	dead bool
 }
 
 type lockReq struct {
@@ -33,6 +41,15 @@ func (m *lockManager) compatible(req *lockReq) bool {
 
 // request is invoked in engine context when a lock request arrives.
 func (m *lockManager) request(req *lockReq) {
+	if m.dead {
+		// The target is confirmed dead: grant immediately as a counted
+		// shared hold so the origin's epoch can open, reroute its
+		// operations, and close without waiting on a corpse.
+		m.shared++
+		m.grants++
+		req.grant()
+		return
+	}
 	if m.compatible(req) {
 		m.admit(req)
 		return
@@ -50,8 +67,51 @@ func (m *lockManager) admit(req *lockReq) {
 	req.grant()
 }
 
+// reclaim transitions the manager into dead mode after its target is
+// confirmed crashed, mid-epoch if need be: the current exclusive hold
+// (whose holder may itself be the dead rank, or an origin about to
+// reroute) is downgraded to a counted shared hold and every queued
+// waiter is admitted shared-counted, so no origin stays parked on a
+// grant the dead target would never have serialized anyway. Exclusion
+// is no longer meaningful — §III-B single-server ordering for the
+// reclaimed target is re-established by the origins rerouting onto the
+// surviving ghost's manager. Returns the number of holds and waiters
+// reclaimed: standing shared holds (the manager stops enforcing their
+// release ordering), a converted exclusive hold, and admitted waiters;
+// 0 when the manager was idle.
+func (m *lockManager) reclaim() int {
+	if m.dead {
+		return 0
+	}
+	m.dead = true
+	n := m.shared
+	if m.exclusive {
+		m.exclusive = false
+		m.shared++
+		n++
+	}
+	for len(m.queue) > 0 {
+		head := m.queue[0]
+		m.queue = m.queue[1:]
+		m.shared++
+		m.grants++
+		head.grant()
+		n++
+	}
+	return n
+}
+
 // release is invoked in engine context when a release arrives.
 func (m *lockManager) release(origin int, excl bool) {
+	if m.dead {
+		// Dead-mode holds are all shared-counted regardless of the mode
+		// they were requested with; tolerate imbalance rather than
+		// panicking over a corpse's bookkeeping.
+		if m.shared > 0 {
+			m.shared--
+		}
+		return
+	}
 	if excl {
 		if !m.exclusive {
 			panic("mpi: exclusive release without exclusive hold")

@@ -129,6 +129,17 @@ func (rel *reliability) sendOp(op *rmaOp, arrival sim.Time) {
 	st.nextSeq++
 	st.unacked[pkt.seq] = pkt
 	op.relPkt = pkt
+	if rel.w.HealthFailed(key.target) {
+		// The target was already confirmed dead when this op issued —
+		// the origin's goroutine ran ahead of the detection sweep in
+		// virtual time, so its routing predates the failure verdict.
+		// The stream's drain has already happened (onDeath); a packet
+		// parked here would wait out a full RTO and join the failover
+		// stream behind younger same-origin ops, breaking accumulate
+		// issue order. Fail it over right now instead.
+		rel.failoverPacket(pkt)
+		return
+	}
 	rel.transmit(pkt, arrival, true)
 }
 

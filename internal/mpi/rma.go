@@ -117,6 +117,16 @@ func (o *rmaOp) Step() {
 		o.promoteWire()
 		o.applyHardware(o.win.rankOf(o.target))
 	case opPhaseSvcDone:
+		if o.win.w.eng.Now() != o.svcEnd {
+			// Stale completion: the op was submitted to a rank that died
+			// with this event still queued, then failed over and
+			// resubmitted to a replacement engine (overwriting svcOwner
+			// and svcEnd). Only the current submission's completion —
+			// the one scheduled at o.svcEnd — may apply the op; letting
+			// the orphaned event through would apply it early, against
+			// the replacement's accounting, and out of stream order.
+			return
+		}
 		e := &o.win.w.ranks[o.svcOwner].engine
 		e.noteDepth(-1)
 		o.applyAndAck()
@@ -232,13 +242,25 @@ func (w *Win) issue(op *rmaOp) {
 		// target resolves the address at apply time.
 		reg := w.g.regions[op.target]
 		if op.disp < 0 || op.disp+op.dt.Extent() > reg.n {
-			r.raise(ErrRMARange, "mpi: %v at disp %d extent %d outside %d-byte window of target %d",
-				op.kind, op.disp, op.dt.Extent(), reg.n, op.target)
-			// ErrorsReturn: drop the op before any accounting. data/cmp
-			// still alias the caller's buffers here, so there is
-			// nothing pooled to release — just the op header.
-			r.w.putOp(op)
-			return
+			if tw := w.g.comm.ranks[op.target]; op.disp >= 0 &&
+				w.g.w.FaultsEnabled() && w.g.w.ranks[tw].failed {
+				// The target crashed before it could expose this window,
+				// so the region on record is the empty one a dead member
+				// contributes. A real origin cannot see that: the
+				// operation goes on the wire, is never acknowledged, and
+				// fails over to a surviving server once the detector
+				// confirms the death. Suppress the bounds check only the
+				// omniscient simulator could perform and let the
+				// reliable transport recover the op.
+			} else {
+				r.raise(ErrRMARange, "mpi: %v at disp %d extent %d outside %d-byte window of target %d",
+					op.kind, op.disp, op.dt.Extent(), reg.n, op.target)
+				// ErrorsReturn: drop the op before any accounting. data/cmp
+				// still alias the caller's buffers here, so there is
+				// nothing pooled to release — just the op header.
+				r.w.putOp(op)
+				return
+			}
 		}
 	}
 

@@ -42,6 +42,17 @@ type WorldSummary struct {
 	CreditStallTime sim.Duration
 	BacklogDropped  int64
 	PeakQueueDepth  int // max over ranks of the AM pipeline high-water mark
+
+	// Recovery aggregates (see RankStats). All exactly zero unless the
+	// failure detector acted, keeping historical summary strings
+	// bit-identical.
+	Suspects       int64
+	FalseSuspects  int64
+	LocksReclaimed int64
+	EpochRelocks   int64
+	Successions    int64
+	CmdResends     int64
+	Rebinds        int64
 }
 
 // Summary aggregates the counters of every rank.
@@ -64,6 +75,13 @@ func (w *World) Summary() WorldSummary {
 		s.CreditStalls += st.CreditStalls
 		s.CreditStallTime += st.CreditStallTime
 		s.BacklogDropped += st.BacklogDropped
+		s.Suspects += st.Suspects
+		s.FalseSuspects += st.FalseSuspects
+		s.LocksReclaimed += st.LocksReclaimed
+		s.EpochRelocks += st.EpochRelocks
+		s.Successions += st.Successions
+		s.CmdResends += st.CmdResends
+		s.Rebinds += st.Rebinds
 		if r.engine.peakDepth > s.PeakQueueDepth {
 			s.PeakQueueDepth = r.engine.peakDepth
 		}
@@ -92,6 +110,14 @@ func (s WorldSummary) String() string {
 			" faults[drop=%d delay=%d dup=%d] retrans=%d timeouts=%d dups_supp=%d reroutes=%d abandoned=%d failed=%d p2p_lost=%d",
 			s.FaultDrops, s.FaultDelays, s.FaultDups, s.Retransmits, s.RetryTimeouts,
 			s.DupsSuppressed, s.Reroutes, s.Abandoned, s.RanksFailed, s.P2PLost)
+	}
+	// Recovery section appears only when the failure detector acted.
+	if s.Suspects|s.FalseSuspects|s.LocksReclaimed|s.EpochRelocks|
+		s.Successions|s.CmdResends|s.Rebinds != 0 {
+		out += fmt.Sprintf(
+			" recovery[suspects=%d false=%d locks_reclaimed=%d epoch_relocks=%d successions=%d cmd_resends=%d rebinds=%d]",
+			s.Suspects, s.FalseSuspects, s.LocksReclaimed, s.EpochRelocks,
+			s.Successions, s.CmdResends, s.Rebinds)
 	}
 	// Flow-control section appears only when credits actually bound.
 	if s.CreditStalls != 0 || s.CreditStallTime != 0 || s.BacklogDropped != 0 {

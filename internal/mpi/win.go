@@ -68,7 +68,13 @@ func (g *winGlobal) pscwState() *pscwGlobal {
 
 func (g *winGlobal) lockMgr(target int) *lockManager {
 	if g.lockMgrs[target] == nil {
-		g.lockMgrs[target] = &lockManager{}
+		m := &lockManager{}
+		// A manager instantiated after its target was confirmed dead
+		// starts in dead mode: there is nothing left to arbitrate.
+		if g.w.HealthFailed(g.comm.ranks[target]) {
+			m.dead = true
+		}
+		g.lockMgrs[target] = m
 	}
 	return g.lockMgrs[target]
 }

@@ -185,7 +185,7 @@ func NewWorld(cfg Config) (*World, error) {
 		}
 		w.inj = inj
 		w.rel = newReliability(w)
-		w.deathHooks = append(w.deathHooks, w.rel.onDeath)
+		w.deathHooks = append(w.deathHooks, w.rel.onDeath, w.reclaimLocksAt)
 	}
 	if cfg.Flow != nil {
 		w.flow = newFlowState(w, cfg.Flow)
@@ -262,6 +262,56 @@ func (w *World) SharedState(key string, create func() interface{}) interface{} {
 	}
 	return v
 }
+
+// AddDeathHook registers fn to run (in engine context) when the failure
+// detector confirms a rank dead, after the built-in transport failover
+// and lock reclamation hooks. Layered runtimes (Casper) use it for
+// recovery machinery such as sequencer succession. Hooks never fire in
+// worlds without a fault plan.
+func (w *World) AddDeathHook(fn func(worldRank int)) {
+	w.deathHooks = append(w.deathHooks, fn)
+}
+
+// reclaimLocksAt is the built-in death hook that reclaims every lock
+// manager owned by the dead rank, window by window in creation order:
+// holds convert to counted shared holds, queued waiters are admitted,
+// and later requests auto-admit, so no epoch blocks on a confirmed
+// corpse (see lockManager.reclaim).
+func (w *World) reclaimLocksAt(dead int) {
+	for _, g := range w.wins {
+		if g.freed {
+			continue
+		}
+		cr, ok := g.comm.index[dead]
+		if !ok {
+			continue
+		}
+		m := g.lockMgrs[cr]
+		if m == nil {
+			continue
+		}
+		if n := m.reclaim(); n > 0 {
+			w.ranks[dead].stats.LocksReclaimed += int64(n)
+			if t := w.tracer; t.Enabled() {
+				t.RecordFault(trace.Fault{Kind: "reclaim", Rank: dead, Peer: -1, At: w.eng.Now()})
+			}
+		}
+	}
+}
+
+// NoteEpochRelock, NoteSuccession, NoteCmdResend and NoteRebind credit
+// recovery actions performed by layered runtimes to the acting rank's
+// counters (see RankStats).
+func (w *World) NoteEpochRelock(worldRank int) { w.ranks[worldRank].stats.EpochRelocks++ }
+
+// NoteSuccession records a sequencer takeover by worldRank.
+func (w *World) NoteSuccession(worldRank int) { w.ranks[worldRank].stats.Successions++ }
+
+// NoteCmdResend records one logged-command retransmission by worldRank.
+func (w *World) NoteCmdResend(worldRank int) { w.ranks[worldRank].stats.CmdResends++ }
+
+// NoteRebind records one bound-target failover performed by worldRank.
+func (w *World) NoteRebind(worldRank int) { w.ranks[worldRank].stats.Rebinds++ }
 
 // Launch spawns every rank running main and schedules them at time 0,
 // then arms any configured fault plan.
@@ -402,6 +452,17 @@ type RankStats struct {
 	CreditStalls    int64        // issues that had to wait for a credit
 	CreditStallTime sim.Duration // virtual time spent waiting for credits
 	BacklogDropped  int64        // ops dropped after a credit timeout
+
+	// Recovery counters (all zero without a fault plan). Suspects /
+	// FalseSuspects / LocksReclaimed accrue on the rank the detector is
+	// watching; the rest accrue on the rank performing the recovery.
+	Suspects       int64 // times this rank entered the suspect phase
+	FalseSuspects  int64 // suspicions cleared by resumed beacons (stalls)
+	LocksReclaimed int64 // lock holds/waiters reclaimed from this rank's managers after death
+	EpochRelocks   int64 // mid-epoch lock-set re-opens onto surviving progress ranks
+	Successions    int64 // sequencer takeovers performed by this rank
+	CmdResends     int64 // logged commands retransmitted by a successor
+	Rebinds        int64 // bound targets failed over to a surviving ghost
 }
 
 func newRank(w *World, id int) *Rank {

@@ -186,32 +186,45 @@ func TestGhostCrashRecoversExactly(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		// Last ghost of node 1: never the sequencer (lowest ghost rank,
-		// which lives on node 0).
-		victim := ghosts[1][len(ghosts[1])-1]
-		plan := &fault.Plan{Seed: 9, Crashes: []fault.Crash{
-			{Rank: victim, At: sim.Time(0.4 * float64(baseSum.EndTime))},
-		}}
-		got, sum, degraded := crashRun(t, users, g, p, plan)
-		if len(got) != len(base) {
-			t.Fatalf("g=%d: %d cells, want %d", g, len(got), len(base))
-		}
-		for i := range base {
-			if got[i] != base[i] {
-				t.Fatalf("g=%d: cell %d = %v, want %v (not bit-identical after crash)", g, i, got[i], base[i])
+		// Two victims per config: the last ghost of node 1 (an ordinary
+		// ghost — the sequencer, the lowest ghost rank, lives on node 0)
+		// and the sequencer itself, whose death additionally forces the
+		// next-lowest surviving ghost to take over command ordering.
+		for _, v := range []struct {
+			name   string
+			victim int
+		}{
+			{"ordinary", ghosts[1][len(ghosts[1])-1]},
+			{"sequencer", ghosts[0][0]},
+		} {
+			plan := &fault.Plan{Seed: 9, Crashes: []fault.Crash{
+				{Rank: v.victim, At: sim.Time(0.4 * float64(baseSum.EndTime))},
+			}}
+			got, sum, degraded := crashRun(t, users, g, p, plan)
+			if len(got) != len(base) {
+				t.Fatalf("g=%d %s: %d cells, want %d", g, v.name, len(got), len(base))
 			}
-		}
-		if sum.RanksFailed != 1 {
-			t.Fatalf("g=%d: RanksFailed = %d, want 1", g, sum.RanksFailed)
-		}
-		if sum.Reroutes == 0 {
-			t.Fatalf("g=%d: crash recovered without any reroutes", g)
-		}
-		if g == 1 && degraded == 0 {
-			t.Fatal("g=1: node lost its only ghost but never degraded to target-side progress")
-		}
-		if g > 1 && degraded != 0 {
-			t.Fatalf("g=%d: degraded %d ops despite surviving ghosts", g, degraded)
+			for i := range base {
+				if got[i] != base[i] {
+					t.Fatalf("g=%d %s: cell %d = %v, want %v (not bit-identical after crash)",
+						g, v.name, i, got[i], base[i])
+				}
+			}
+			if sum.RanksFailed != 1 {
+				t.Fatalf("g=%d %s: RanksFailed = %d, want 1", g, v.name, sum.RanksFailed)
+			}
+			if sum.Reroutes == 0 {
+				t.Fatalf("g=%d %s: crash recovered without any reroutes", g, v.name)
+			}
+			if v.name == "sequencer" && sum.Successions == 0 {
+				t.Fatalf("g=%d: sequencer killed but no ghost performed a succession", g)
+			}
+			if g == 1 && degraded == 0 {
+				t.Fatalf("g=1 %s: node lost its only ghost but never degraded to target-side progress", v.name)
+			}
+			if g > 1 && degraded != 0 {
+				t.Fatalf("g=%d %s: degraded %d ops despite surviving ghosts", g, v.name, degraded)
+			}
 		}
 	}
 }

@@ -92,9 +92,11 @@ func (t *Tracer) Services() []Service {
 }
 
 // Fault is one fault-related event: an injected crash or stall, a
-// failure detection, a rerouted operation, or an abandoned one.
+// suspicion or confirmed failure detection, a recovery action
+// (sequencer succession, lock reclamation), a rerouted operation, or an
+// abandoned one.
 type Fault struct {
-	Kind string // "crash", "stall", "detect", "reroute", "abandon"
+	Kind string // "crash", "stall", "suspect", "detect", "reclaim", "succession", "reroute", "abandon"
 	Rank int    // world rank the event concerns
 	Peer int    // counterpart world rank, or -1 when not applicable
 	At   sim.Time
