@@ -35,7 +35,7 @@ func main() {
 		seed       = flag.Int64("seed", 42, "simulation seed")
 		quick      = flag.Bool("quick", false, "CI smoke mode: shorthand for -scale 0.12")
 		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "sweep worker goroutines (1 = serial)")
-		chaosSeed  = flag.Int64("chaosseed", 0, "faultchaos: replay this single chaos seed verbosely (0 = full sweep)")
+		chaosSeed  = flag.Int64("chaosseed", 0, "faultchaos: replay this single chaos seed verbosely (0 = full sweep; implies -run faultchaos)")
 		benchID    = flag.String("bench", "", "experiment id to benchmark serial vs -parallel")
 		benchOut   = flag.String("benchout", "", "write the -bench JSON baseline to this file (default stdout)")
 		allocGate  = flag.String("allocgate", "", "with -bench: fail if allocs/event exceeds this committed baseline JSON by more than 0.05")
@@ -45,6 +45,19 @@ func main() {
 	flag.Parse()
 	if *quick {
 		*scale = 0.12
+	}
+	if *chaosSeed > 0 {
+		// -chaosseed only means something to faultchaos: a bare
+		// invocation implies the replay run, anything else is a mistake
+		// the user should hear about rather than a silently ignored flag.
+		switch {
+		case *run == "" && *benchID == "" && !*all && !*list:
+			*run = "faultchaos"
+		case *run != "" && *run != "faultchaos":
+			fatalf("casperbench: -chaosseed applies only to faultchaos, not -run %s", *run)
+		case *benchID != "" && *benchID != "faultchaos":
+			fatalf("casperbench: -chaosseed applies only to faultchaos, not -bench %s", *benchID)
+		}
 	}
 	opts := bench.Options{Scale: *scale, Seed: *seed, Parallel: *parallel, ChaosSeed: *chaosSeed}
 

@@ -42,7 +42,7 @@ func runExp(t *testing.T, id string, o Options) *Result {
 func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"abl1", "abl2", "abl3",
-		"faultchaos", "faultrecover", "faultsweep", "faultzero",
+		"faultapp", "faultchaos", "faultrecover", "faultsweep", "faultzero",
 		"fig3a", "fig3b", "fig4a", "fig4b", "fig4c",
 		"fig5a", "fig5b", "fig5c",
 		"fig6a", "fig6b", "fig6c",

@@ -256,6 +256,7 @@ func init() {
 			for _, ng := range nodeGhosts {
 				ghosts = append(ghosts, ng...)
 			}
+			apps := userRanks(chaosN, nodeGhosts)
 
 			type chaosRun struct {
 				out  chaosOutcome
@@ -270,12 +271,14 @@ func init() {
 				seed := seeds[i]
 				wi := int((seed - 1) % 4)
 				plan := fault.ChaosPlan(seed, fault.ChaosSpec{
-					Ghosts:     ghosts,
-					Nodes:      chaosNodes,
-					Horizon:    base[wi].summary.EndTime,
-					MaxCrashes: 3,
-					MaxStalls:  2,
-					Rates:      true,
+					Ghosts:        ghosts,
+					Apps:          apps,
+					Nodes:         chaosNodes,
+					Horizon:       base[wi].summary.EndTime,
+					MaxCrashes:    3,
+					MaxAppCrashes: 2,
+					MaxStalls:     2,
+					Rates:         true,
 				})
 				var tr *trace.Tracer
 				if verbose {
@@ -287,6 +290,7 @@ func init() {
 
 			// Aggregate per workload; collect failures in seed order.
 			var okCnt, succ, locks, relocks, resends, rebinds, suspects [4]float64
+			var apprec, replays [4]float64
 			var failures []string
 			var agg mpi.WorldSummary
 			for i, r := range runs {
@@ -299,6 +303,8 @@ func init() {
 				resends[r.wi] += float64(s.CmdResends)
 				rebinds[r.wi] += float64(s.Rebinds)
 				suspects[r.wi] += float64(s.Suspects)
+				apprec[r.wi] += float64(s.AppRecoveries)
+				replays[r.wi] += float64(s.ReplayedOps)
 				agg.Successions += s.Successions
 				agg.LocksReclaimed += s.LocksReclaimed
 				agg.EpochRelocks += s.EpochRelocks
@@ -307,6 +313,11 @@ func init() {
 				agg.Suspects += s.Suspects
 				agg.FalseSuspects += s.FalseSuspects
 				agg.RanksFailed += s.RanksFailed
+				agg.AppRecoveries += s.AppRecoveries
+				agg.SnapshotBytes += s.SnapshotBytes
+				agg.ReplayedOps += s.ReplayedOps
+				agg.FaultCorrupts += s.FaultCorrupts
+				agg.CorruptDropped += s.CorruptDropped
 				if len(bad) == 0 {
 					okCnt[r.wi]++
 					continue
@@ -322,7 +333,7 @@ func init() {
 			res.Notes = append(res.Notes, fmt.Sprintf(
 				"%d seeds; seed s attacks workload (s-1) mod 4 of [stencil gups ga-matmul lockloop]", len(seeds)))
 			res.Notes = append(res.Notes,
-				"per seed: <=3 ghost crashes (sequencer included), <=2 stalls, randomized drop/delay/dup rates, stragglers")
+				"per seed: <=3 ghost crashes (sequencer included), <=2 recoverable app crashes, <=2 stalls, randomized drop/delay/dup/corrupt rates, stragglers")
 			res.Notes = append(res.Notes, fmt.Sprintf(
 				"invariants: complete, bit-identical to fault-free, self-verified, validator-clean; violations=%d",
 				len(failures)))
@@ -338,9 +349,10 @@ func init() {
 					o.ChaosSeed, chaosWorkloadNames[r.wi], r.plan.Describe(), outcome))
 				s := r.out.summary
 				res.Notes = append(res.Notes, fmt.Sprintf(
-					"replay counters: failed=%d suspects=%d false=%d successions=%d cmd_resends=%d locks_reclaimed=%d epoch_relocks=%d rebinds=%d reroutes=%d",
+					"replay counters: failed=%d suspects=%d false=%d successions=%d cmd_resends=%d locks_reclaimed=%d epoch_relocks=%d rebinds=%d reroutes=%d app_recovered=%d replayed=%d corrupt_dropped=%d",
 					s.RanksFailed, s.Suspects, s.FalseSuspects, s.Successions, s.CmdResends,
-					s.LocksReclaimed, s.EpochRelocks, s.Rebinds, s.Reroutes))
+					s.LocksReclaimed, s.EpochRelocks, s.Rebinds, s.Reroutes,
+					s.AppRecoveries, s.ReplayedOps, s.CorruptDropped))
 				for _, f := range r.tr.Faults() {
 					res.Notes = append(res.Notes, fmt.Sprintf(
 						"trace: %-10s rank=%d peer=%d at=%v", f.Kind, f.Rank, f.Peer, f.At))
@@ -356,12 +368,18 @@ func init() {
 				{Name: "cmd_resends", Y: resends[:]},
 				{Name: "rebinds", Y: rebinds[:]},
 				{Name: "suspects", Y: suspects[:]},
+				{Name: "app_recoveries", Y: apprec[:]},
+				{Name: "replayed_ops", Y: replays[:]},
 			}
 			res.Recovery = append(res.Recovery, fmt.Sprintf(
 				"chaos recovery: %d/%d seeds clean; ghosts_failed=%d successions=%d cmd_resends=%d locks_reclaimed=%d epoch_relocks=%d rebinds=%d suspects=%d false_suspects=%d",
 				len(seeds)-len(failures), len(seeds), agg.RanksFailed, agg.Successions,
 				agg.CmdResends, agg.LocksReclaimed, agg.EpochRelocks, agg.Rebinds,
 				agg.Suspects, agg.FalseSuspects))
+			res.Recovery = append(res.Recovery, fmt.Sprintf(
+				"chaos app recovery: apps_recovered=%d snap_bytes=%d replayed_ops=%d corrupt_injected=%d corrupt_dropped=%d",
+				agg.AppRecoveries, agg.SnapshotBytes, agg.ReplayedOps,
+				agg.FaultCorrupts, agg.CorruptDropped))
 			return res
 		},
 	})

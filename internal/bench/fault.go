@@ -66,6 +66,24 @@ func runStencilFault(users, g int, p stencil.Params, seed int64, plan *fault.Pla
 	return out
 }
 
+// userRanks returns the world ranks that are user (application)
+// processes: everything the ghost carving did not claim.
+func userRanks(n int, ghostsByNode [][]int) []int {
+	isGhost := make(map[int]bool)
+	for _, gs := range ghostsByNode {
+		for _, g := range gs {
+			isGhost[g] = true
+		}
+	}
+	var out []int
+	for r := 0; r < n; r++ {
+		if !isGhost[r] {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
 // sameGrids reports whether two assembled interiors are bit-identical.
 func sameGrids(a, b [][]float64) bool {
 	if len(a) != len(b) {
@@ -198,6 +216,88 @@ func init() {
 					s.LocksReclaimed, s.EpochRelocks, s.Rebinds, s.Retransmits))
 			}
 			res.Series = []Series{{Name: "Fault-free", Y: base}, {Name: "Ghost crash", Y: crash}}
+			return res
+		},
+	})
+
+	register(Experiment{
+		ID:     "faultapp",
+		Figure: "robustness",
+		Title:  "App-rank crash: epoch-replicated rollback-replay recovery",
+		Run: func(o Options) *Result {
+			o = o.withDefaults()
+			res := &Result{
+				ID: "faultapp", Title: "App-rank crash: epoch-replicated rollback-replay recovery",
+				XLabel: "app_crashes", YLabel: "ms",
+			}
+			const users, g = 8, 2
+			p := faultStencilParams()
+			ppn := users/2 + g
+			n := 2 * ppn
+			ghostsByNode, err := core.GhostRanks(machineFor(n, ppn), n, ppn, g)
+			if err != nil {
+				panic(fmt.Sprintf("bench: %v", err))
+			}
+			appRanks := userRanks(n, ghostsByNode)
+			crashCounts := []int{1, 2, 3}
+			type appPoint struct {
+				b, c stencilResult
+				plan *fault.Plan
+			}
+			pts := make([]appPoint, len(crashCounts))
+			// Crash times derive from the fault-free run's end time, so
+			// the two runs of one point stay sequential; the points
+			// themselves are independent.
+			o.points(len(crashCounts), func(ci int) {
+				b := runStencilFault(users, g, p, o.Seed, nil)
+				plan := &fault.Plan{Seed: o.Seed}
+				for k := 0; k < crashCounts[ci]; k++ {
+					// Victims spread across both nodes, crash instants
+					// spread across the middle of the run — each lands
+					// mid-epoch with real work before and after it.
+					plan.AppCrashes = append(plan.AppCrashes, fault.AppCrash{
+						Rank: appRanks[(k*3)%len(appRanks)],
+						At:   sim.Time((0.3 + 0.15*float64(k)) * float64(b.summary.EndTime)),
+					})
+				}
+				pts[ci] = appPoint{b: b, c: runStencilFault(users, g, p, o.Seed, plan), plan: plan}
+			})
+			base, crash := make([]float64, len(crashCounts)), make([]float64, len(crashCounts))
+			recovered := make([]float64, len(crashCounts))
+			snapshots := make([]float64, len(crashCounts))
+			replayed := make([]float64, len(crashCounts))
+			for ci, nc := range crashCounts {
+				res.X = append(res.X, float64(nc))
+				pt := pts[ci]
+				base[ci] = pt.b.elapsed.Millis()
+				crash[ci] = pt.c.elapsed.Millis()
+				s := pt.c.summary
+				recovered[ci] = float64(s.AppRecoveries)
+				snapshots[ci] = float64(s.SnapshotsTaken)
+				replayed[ci] = float64(s.ReplayedOps)
+				res.Notes = append(res.Notes, fmt.Sprintf(
+					"crashes=%d plan={%s}: bit_identical=%v recovered=%d snapshots=%d snap_bytes=%d replayed=%d end_base=%v end_crash=%v",
+					nc, pt.plan.Describe(), sameGrids(pt.b.interior, pt.c.interior),
+					s.AppRecoveries, s.SnapshotsTaken, s.SnapshotBytes, s.ReplayedOps,
+					pt.b.summary.EndTime, pt.c.summary.EndTime))
+				if !sameGrids(pt.b.interior, pt.c.interior) || s.AppRecoveries != int64(nc) {
+					res.Failed = true
+					res.Notes = append(res.Notes, fmt.Sprintf(
+						"FAIL crashes=%d: recovered=%d want %d, bit_identical=%v want true",
+						nc, s.AppRecoveries, nc, sameGrids(pt.b.interior, pt.c.interior)))
+				}
+				res.Recovery = append(res.Recovery, fmt.Sprintf(
+					"app recovery crashes=%d: recovered=%d from closed-epoch snapshots (taken=%d, %d bytes shipped) + %d replayed ops; suspects=%d retransmits=%d",
+					nc, s.AppRecoveries, s.SnapshotsTaken, s.SnapshotBytes,
+					s.ReplayedOps, s.Suspects, s.Retransmits))
+			}
+			res.Series = []Series{
+				{Name: "Fault-free", Y: base},
+				{Name: "App crash", Y: crash},
+				{Name: "recovered", Y: recovered},
+				{Name: "snapshots", Y: snapshots},
+				{Name: "replayed_ops", Y: replayed},
+			}
 			return res
 		},
 	})

@@ -192,6 +192,16 @@ func Init(r *mpi.Rank, cfg Config) (*Process, bool) {
 		ghosts = append(ghosts, gs...)
 	}
 	r.World().TrackHealth(ghosts)
+	if appCrashesPlanned(r) {
+		// Recoverable app crashes must be confirmed by the detector
+		// before the recovery pipeline can start, so the user ranks are
+		// monitored too.
+		var users []int
+		for _, us := range d.usersByNode {
+			users = append(users, us...)
+		}
+		r.World().TrackHealth(users)
+	}
 	return &Process{r: r, d: d}, false
 }
 

@@ -39,11 +39,11 @@ type cmdJournal struct {
 	ghosts  []int     // every ghost world rank, ascending
 	seqRank int       // acting sequencer; -1 once every ghost is confirmed dead
 
-	entries []*cmdEntry          // log-append order (user send order)
-	pending map[int][]*cmdEntry  // origin -> FIFO of entries not yet ordered
-	ordered []*cmdEntry          // global command order
-	next    map[int]int          // ghost -> index into ordered of next entry to run
-	exited  map[int]bool         // ghosts that left their service loop (shutdown)
+	entries []*cmdEntry         // log-append order (user send order)
+	pending map[int][]*cmdEntry // origin -> FIFO of entries not yet ordered
+	ordered []*cmdEntry         // global command order
+	next    map[int]int         // ghost -> index into ordered of next entry to run
+	exited  map[int]bool        // ghosts that left their service loop (shutdown)
 }
 
 // cmdEntry is one logged command.

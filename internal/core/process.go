@@ -191,6 +191,15 @@ func (p *Process) WinAllocate(comm *mpi.Comm, size int, info mpi.Info) (mpi.Wind
 	cw.cmdIdx = p.winCounts[cw.cmdKey]
 	p.winCounts[cw.cmdKey]++
 	cw.buildLayout(size, topo)
+	if appCrashesPlanned(p.r) {
+		// Guard this rank's exposed region for rollback-replay recovery:
+		// the bound ghost snapshots it at epoch closes, a buddy ghost on
+		// another node holds the replica and replays after a crash.
+		rec := recoveryFor(p.r)
+		rec.register(p.r.Rank(), p.r.World().GuardRegion(shared.Region()),
+			p.d.boundGhost(p.r.Rank()), p.d.buddyGhosts(p.r.Rank()))
+		cw.rec = rec
+	}
 	if p.d.cfg.Overload != nil {
 		cw.sh = p.attachOverload(cw)
 	}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"repro/internal/mpi"
+)
+
+// Application-rank fault tolerance (the recoverable half of the fault
+// model; ghost crashes are handled by rebinding and succession, see
+// journal.go and window.go).
+//
+// When the fault plan schedules AppCrashes, every user process guards
+// the window region it exposes in WinAllocate. The guard journals each
+// remote RMA mutation (internal/mpi/guard.go); at every epoch close the
+// owner folds the journal into a fresh snapshot, modeling the bound
+// ghost replicating the rank's closed-epoch state to a buddy ghost on
+// another node. Epoch closes are exactly the consistency points RMA
+// synchronization mandates — between them the journal, not the
+// snapshot, carries the open epoch's mutations.
+//
+// On a confirmed recoverable crash the detector's pipeline (agreement →
+// respawn → restore → thaw, internal/mpi/health.go) calls back into
+// restore below: the region is rolled back to the last snapshot and the
+// open epoch's journaled operations are replayed by the first surviving
+// buddy, whose shipped bytes price the revival delay. The rebuild is
+// verified bit-identical to the pre-crash bytes, so the recovered world
+// cannot silently diverge from its fault-free twin.
+type appRecovery struct {
+	w       *mpi.World
+	guarded map[int][]*guardRec // app world rank -> guards over its exposed regions
+}
+
+// guardRec ties one guarded region to the ghosts responsible for it.
+type guardRec struct {
+	guard   *mpi.RegionGuard
+	owner   int   // bound ghost (world rank): takes the epoch-close snapshots
+	buddies []int // replica holders in preference order: first survivor replays
+}
+
+// recoveryFor returns the world-global recovery singleton, creating it
+// and registering the restore callback on first use. Only called when
+// the plan schedules AppCrashes.
+func recoveryFor(r *mpi.Rank) *appRecovery {
+	v := r.World().SharedState("casper.apprecovery", func() interface{} {
+		rec := &appRecovery{w: r.World(), guarded: map[int][]*guardRec{}}
+		rec.w.SetAppRestore(rec.restore)
+		return rec
+	})
+	return v.(*appRecovery)
+}
+
+// register guards one region of one app rank. Guards live for the
+// world's lifetime: a freed window's region stays addressable in the
+// simulation, and an idle guard costs nothing on the message path.
+func (rec *appRecovery) register(worldRank int, g *mpi.RegionGuard, owner int, buddies []int) {
+	rec.guarded[worldRank] = append(rec.guarded[worldRank], &guardRec{
+		guard:   g,
+		owner:   owner,
+		buddies: buddies,
+	})
+}
+
+// snapshot folds every guard of the rank at an epoch close, crediting
+// the owning ghost with the replication traffic. Pure memory — the
+// replication is modeled as asynchronous background wire the owner
+// overlaps with service, so it never perturbs the schedule.
+func (rec *appRecovery) snapshot(worldRank int) {
+	for _, gr := range rec.guarded[worldRank] {
+		rec.w.NoteSnapshot(gr.owner, gr.guard.Snapshot())
+	}
+}
+
+// restore is the World.SetAppRestore callback, run in engine context
+// when a confirmed-dead app rank is respawned: capture the crash-time
+// local-store diff, roll back to the last snapshot, replay the open
+// epoch's journal, and credit the replaying buddy. Returns the shipped
+// snapshot bytes (pricing the revival delay) and ok=false for ranks
+// with nothing guarded.
+func (rec *appRecovery) restore(worldRank int) (bytes, replayed int, ok bool) {
+	grs := rec.guarded[worldRank]
+	if len(grs) == 0 {
+		return 0, 0, false
+	}
+	for _, gr := range grs {
+		gr.guard.MarkCrash()
+		b, rp := gr.guard.Restore()
+		bytes += b
+		replayed += rp
+		rec.w.NoteReplayedOps(rec.liveBuddy(gr), rp)
+	}
+	return bytes, replayed, true
+}
+
+// liveBuddy returns the first surviving replica holder, falling back to
+// the static first preference when every candidate is confirmed dead
+// (the counters of dead ranks still aggregate).
+func (rec *appRecovery) liveBuddy(gr *guardRec) int {
+	for _, b := range gr.buddies {
+		if !rec.w.HealthFailed(b) {
+			return b
+		}
+	}
+	return gr.buddies[0]
+}
+
+// buddyGhosts returns the replica-holder preference order for a user
+// process: the ghosts of the following nodes (cyclically) first — a
+// replica on the owner's node would die with the node — then the
+// owner's node-mates, and the owning bound ghost itself as the final
+// fallback.
+func (d *deployment) buddyGhosts(worldRank int) []int {
+	nodes := len(d.ghostsByNode)
+	node := d.place.Node(worldRank)
+	owner := d.boundGhost(worldRank)
+	var out []int
+	for i := 1; i <= nodes; i++ {
+		for _, g := range d.ghostsByNode[(node+i)%nodes] {
+			if g != owner {
+				out = append(out, g)
+			}
+		}
+	}
+	return append(out, owner)
+}
+
+// appCrashesPlanned reports whether the world's fault plan schedules
+// recoverable application-rank crashes — the switch that arms guarding,
+// app-rank health tracking, and the restore callback.
+func appCrashesPlanned(r *mpi.Rank) bool {
+	plan := r.World().Config().Fault
+	return plan != nil && len(plan.AppCrashes) > 0
+}

@@ -55,6 +55,10 @@ type casperWin struct {
 	// sh is the shared overload state of this window (all ranks'
 	// handles point at the same object); nil without Config.Overload.
 	sh *winShared
+
+	// rec is the app-rank recovery engine; nil unless the fault plan
+	// schedules AppCrashes (see recover.go).
+	rec *appRecovery
 }
 
 var _ mpi.Window = (*casperWin)(nil)
@@ -382,6 +386,7 @@ func (cw *casperWin) Fence(assert mpi.Assert) {
 	}
 	cw.fenceActive = !assert.Has(mpi.ModeNoSucceed)
 	cw.resetDynamic()
+	cw.snapshotEpoch()
 }
 
 // Post opens an exposure epoch: with ghosts handling all data movement,
@@ -428,6 +433,7 @@ func (cw *casperWin) Complete() {
 	}
 	cw.accessGroup = nil
 	cw.resetDynamic()
+	cw.snapshotEpoch()
 }
 
 // Wait closes the exposure epoch once every origin has completed; data
@@ -491,6 +497,7 @@ func (cw *casperWin) Unlock(t int) {
 	if cw.sh != nil {
 		cw.sh.lockHolds[t]--
 	}
+	cw.snapshotEpoch()
 }
 
 // LockAll opens a lockall epoch. When lock epochs are also declared it
@@ -535,6 +542,7 @@ func (cw *casperWin) UnlockAll() {
 		}
 	}
 	cw.lockAllActive = false
+	cw.snapshotEpoch()
 }
 
 // Flush completes all operations to target t at origin and target, and —
@@ -632,6 +640,16 @@ func (cw *casperWin) requireEpoch(declared bool, name string) {
 	if !declared {
 		panic(fmt.Sprintf("casper: %s epoch used but not declared in %s hint",
 			name, InfoEpochsUsed))
+	}
+}
+
+// snapshotEpoch folds this rank's region guards at an epoch close —
+// the consistency point at which the bound ghost replicates the rank's
+// window state to its buddy (see recover.go). No-op unless the fault
+// plan schedules AppCrashes.
+func (cw *casperWin) snapshotEpoch() {
+	if cw.rec != nil {
+		cw.rec.snapshot(cw.p.r.Rank())
 	}
 }
 

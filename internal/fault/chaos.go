@@ -15,12 +15,14 @@ import (
 // run, including inside window construction and open lock epochs.
 type ChaosSpec struct {
 	Ghosts  []int    // crash/stall candidates (world ranks)
+	Apps    []int    // recoverable app-crash candidates (user world ranks)
 	Nodes   int      // node count, for straggler selection
 	Horizon sim.Time // fault-free end time of the workload being attacked
 
-	MaxCrashes int  // per plan; actual count is seeded-random in [0, max]
-	MaxStalls  int  // per plan; actual count is seeded-random in [0, max]
-	Rates      bool // allow randomized message drop/delay/dup rates
+	MaxCrashes    int  // per plan; actual count is seeded-random in [0, max]
+	MaxAppCrashes int  // per plan; actual count is seeded-random in [0, max]
+	MaxStalls     int  // per plan; actual count is seeded-random in [0, max]
+	Rates         bool // allow randomized message drop/delay/dup rates
 }
 
 // ChaosPlan derives a complete fault plan from a seed — a pure
@@ -69,6 +71,20 @@ func ChaosPlan(seed int64, spec ChaosSpec) *Plan {
 			rng.Intn(spec.Nodes): 1.05 + rng.Float64()*0.5,
 		}
 	}
+	// Extended draws, taken strictly after the legacy ones and only when
+	// the spec opts in: specs without app crashes reproduce their
+	// historical plans bit-identically.
+	if spec.MaxAppCrashes > 0 && len(spec.Apps) > 0 {
+		for i, n := 0, rng.Intn(spec.MaxAppCrashes+1); i < n; i++ {
+			p.AppCrashes = append(p.AppCrashes, AppCrash{
+				Rank: spec.Apps[rng.Intn(len(spec.Apps))],
+				At:   sim.Time(rng.Int63n(span)),
+			})
+		}
+		if spec.Rates && rng.Intn(3) == 0 {
+			p.CorruptRate = rng.Float64() * 0.02
+		}
+	}
 	return p
 }
 
@@ -79,12 +95,15 @@ func (p *Plan) Describe() string {
 	for _, c := range p.Crashes {
 		parts = append(parts, fmt.Sprintf("crash[r%d@%v]", c.Rank, c.At))
 	}
+	for _, c := range p.AppCrashes {
+		parts = append(parts, fmt.Sprintf("appcrash[r%d@%v]", c.Rank, c.At))
+	}
 	for _, s := range p.Stalls {
 		parts = append(parts, fmt.Sprintf("stall[r%d@%v+%v]", s.Rank, s.At, s.Duration))
 	}
 	if !p.zeroRates() {
-		parts = append(parts, fmt.Sprintf("rates[drop=%.4f delay=%.4f dup=%.4f max=%v]",
-			p.DropRate, p.DelayRate, p.DupRate, p.DelayMax))
+		parts = append(parts, fmt.Sprintf("rates[drop=%.4f delay=%.4f dup=%.4f corrupt=%.4f max=%v]",
+			p.DropRate, p.DelayRate, p.DupRate, p.CorruptRate, p.DelayMax))
 	}
 	for node, f := range p.Stragglers { // at most one entry from ChaosPlan
 		parts = append(parts, fmt.Sprintf("straggler[node%d x%.2f]", node, f))

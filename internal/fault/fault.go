@@ -26,6 +26,17 @@ type Crash struct {
 	At   sim.Time // virtual time of death
 }
 
+// AppCrash kills an application (non-ghost) rank at a virtual time,
+// recoverably: the process freezes, the failure detector confirms the
+// death, and the Casper recovery engine respawns it with its window
+// state restored from the last closed-epoch snapshot and the open
+// epoch's journaled operations replayed. Contrast Crash, which is
+// permanent death.
+type AppCrash struct {
+	Rank int      // world rank to kill (must be an application rank)
+	At   sim.Time // virtual time of death
+}
+
 // Stall freezes a rank's progress engine for a duration: active
 // messages arriving in the window are serviced only after it ends, and
 // the rank emits no heartbeats meanwhile. A stall past half the health
@@ -53,13 +64,22 @@ type Plan struct {
 	DelayRate float64
 	DupRate   float64
 
+	// CorruptRate is the per-transmission probability of payload
+	// corruption on the wire. The reliable transport detects a corrupt
+	// packet by CRC32 checksum mismatch at the receiver, drops it, and
+	// recovers by ordinary timeout/retransmission. Its random draw
+	// happens only when the rate is nonzero, so plans without it keep
+	// their historical fault sequences bit-identical.
+	CorruptRate float64
+
 	// DelayMax bounds the extra latency of a delayed transmission.
 	// Zero selects 10 microseconds.
 	DelayMax sim.Duration
 
 	// Scheduled process faults.
-	Crashes []Crash
-	Stalls  []Stall
+	Crashes    []Crash
+	AppCrashes []AppCrash
+	Stalls     []Stall
 
 	// Stragglers maps node index -> compute slowdown factor (>= 1).
 	Stragglers map[int]float64
@@ -70,7 +90,8 @@ func (p *Plan) Validate() error {
 	for _, r := range []struct {
 		name string
 		v    float64
-	}{{"DropRate", p.DropRate}, {"DelayRate", p.DelayRate}, {"DupRate", p.DupRate}} {
+	}{{"DropRate", p.DropRate}, {"DelayRate", p.DelayRate}, {"DupRate", p.DupRate},
+		{"CorruptRate", p.CorruptRate}} {
 		if r.v < 0 || r.v > 1 {
 			return fmt.Errorf("fault: %s = %g outside [0, 1]", r.name, r.v)
 		}
@@ -81,6 +102,11 @@ func (p *Plan) Validate() error {
 	for _, c := range p.Crashes {
 		if c.At < 0 {
 			return fmt.Errorf("fault: crash of rank %d at negative time %v", c.Rank, c.At)
+		}
+	}
+	for _, c := range p.AppCrashes {
+		if c.At < 0 {
+			return fmt.Errorf("fault: app crash of rank %d at negative time %v", c.Rank, c.At)
 		}
 	}
 	for _, s := range p.Stalls {
@@ -99,21 +125,23 @@ func (p *Plan) Validate() error {
 // zeroRates reports whether no randomized transmission fault can ever
 // fire, in which case Transmission never touches the random source.
 func (p *Plan) zeroRates() bool {
-	return p.DropRate == 0 && p.DelayRate == 0 && p.DupRate == 0
+	return p.DropRate == 0 && p.DelayRate == 0 && p.DupRate == 0 && p.CorruptRate == 0
 }
 
 // Decision is the injector's verdict on one transmission.
 type Decision struct {
-	Drop  bool
-	Dup   bool
-	Extra sim.Duration // added latency (zero unless delayed)
+	Drop    bool
+	Dup     bool
+	Corrupt bool
+	Extra   sim.Duration // added latency (zero unless delayed)
 }
 
 // Stats counts faults actually injected.
 type Stats struct {
-	Drops  int64
-	Delays int64
-	Dups   int64
+	Drops    int64
+	Delays   int64
+	Dups     int64
+	Corrupts int64
 }
 
 // Injector evaluates a Plan at runtime with a private random source.
@@ -170,6 +198,13 @@ func (in *Injector) Transmission() Decision {
 	if in.rng.Float64() < in.plan.DupRate {
 		d.Dup = true
 		in.stats.Dups++
+	}
+	// Drawn only under a nonzero rate so plans without corruption keep
+	// their historical random sequences (and thus fault schedules)
+	// bit-identical.
+	if in.plan.CorruptRate > 0 && in.rng.Float64() < in.plan.CorruptRate {
+		d.Corrupt = true
+		in.stats.Corrupts++
 	}
 	return d
 }

@@ -96,6 +96,20 @@ func (e *rankEngine) enterMPI() {
 	}
 }
 
+// drainDeferred services any deferred AMs if the rank is currently
+// inside MPI — the revive-time analogue of the enterMPI poll, needed
+// because a rank frozen while parked inside an MPI call re-enters
+// nothing on thaw.
+func (e *rankEngine) drainDeferred() {
+	if e.inMPI > 0 && len(e.pending) > 0 {
+		ops := e.pending
+		e.pending = nil
+		for _, op := range ops {
+			e.service(op, 1.0, 0)
+		}
+	}
+}
+
 func (e *rankEngine) leaveMPI() {
 	e.inMPI--
 	if e.inMPI < 0 {
@@ -109,6 +123,13 @@ func (e *rankEngine) deliver(op *rmaOp) {
 	r := e.r
 	if r.failed {
 		// Dead target: swallow; the origin recovers via timeout/failover.
+		return
+	}
+	if r.down {
+		// Down-recoverable target: the AM waits in pending and is
+		// serviced once the revived rank drains it (drainDeferred at
+		// thaw, or its next MPI entry).
+		e.pending = append(e.pending, op)
 		return
 	}
 	if now := r.w.eng.Now(); now < r.stalledUntil {

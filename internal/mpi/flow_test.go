@@ -4,7 +4,9 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/fault"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // creditStorm is the flow-control stress shape: three origins each
@@ -113,6 +115,87 @@ func TestCreditTimeoutRaisesErrBacklog(t *testing.T) {
 	}
 	if sum != 1 {
 		t.Fatalf("target saw %v, want exactly the one undropped op", sum)
+	}
+}
+
+func TestCreditsReturnedOnConfirmedDeadTarget(t *testing.T) {
+	// An op in flight to a rank that crashes recoverably holds its
+	// flow-control credit; once the failure detector confirms the death,
+	// the credit must be returned eagerly so the origin is not starved
+	// for the whole downtime. The proof is temporal: with a one-credit
+	// window, the second op can only be issued before the revival if the
+	// first op's credit came back at confirmation time.
+	const crashAt = 50 * sim.Microsecond
+	cfg := testConfig(2, 2)
+	cfg.Fault = &fault.Plan{
+		Seed:       1,
+		AppCrashes: []fault.AppCrash{{Rank: 0, At: sim.Time(crashAt)}},
+	}
+	cfg.Flow = &FlowConfig{Credits: 1}
+	w, err := NewWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := trace.New()
+	w.SetTracer(tr)
+	var (
+		sum      float64
+		issuedAt sim.Time
+	)
+	w.Launch(func(r *Rank) {
+		c := r.CommWorld()
+		if r.Rank() == 0 {
+			r.World().TrackHealth([]int{0})
+		}
+		win, buf := r.WinAllocate(c, 8, nil)
+		c.Barrier()
+		if r.Rank() == 0 {
+			// Busy well past the whole recovery pipeline: op 1 stays
+			// unacknowledged (and its credit held) until the detector
+			// acts, and the crash freezes this rank mid-compute.
+			r.Compute(600 * sim.Microsecond)
+			c.Recv(1, 7)
+			sum = GetFloat64s(buf)[0]
+		} else {
+			win.LockAll(AssertNone)
+			win.Accumulate(PutFloat64s([]float64{1}), 0, 0, Scalar(Float64), OpSum)
+			// Blocks on the window's only credit, held by op 1 in flight
+			// to the (soon to be confirmed-dead) target.
+			win.Accumulate(PutFloat64s([]float64{1}), 0, 0, Scalar(Float64), OpSum)
+			issuedAt = r.Now()
+			win.UnlockAll()
+			c.Send(0, 7, nil)
+		}
+		c.Barrier()
+		win.Free()
+	})
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var revivedAt sim.Time
+	for _, f := range tr.Faults() {
+		if f.Kind == "revive" && f.Rank == 0 {
+			revivedAt = f.At
+		}
+	}
+	if revivedAt == 0 {
+		t.Fatal("rank 0 was never revived; recovery pipeline did not run")
+	}
+	if issuedAt >= revivedAt {
+		t.Fatalf("op 2 issued at %v, after revival at %v: the in-flight op's credit leaked for the whole downtime",
+			issuedAt, revivedAt)
+	}
+	if issuedAt <= sim.Time(crashAt) {
+		t.Fatalf("op 2 issued at %v, before the crash at %v: the storm never contended for the credit",
+			issuedAt, sim.Time(crashAt))
+	}
+	s := w.Summary()
+	if s.AppRecoveries != 1 {
+		t.Fatalf("AppRecoveries = %d, want 1", s.AppRecoveries)
+	}
+	// Eager return must not lose or double-apply either op.
+	if sum != 2 {
+		t.Fatalf("target saw %v, want both ops applied exactly once", sum)
 	}
 }
 

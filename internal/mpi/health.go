@@ -35,6 +35,11 @@ const (
 	defaultBeaconInterval = 20 * sim.Microsecond
 	defaultGracePeriod    = 80 * sim.Microsecond
 	defaultProbeRTT       = 10 * sim.Microsecond
+
+	// defaultRespawnDelay models the launcher restarting a crashed
+	// application process once the survivors have agreed on its death:
+	// fork/exec, MPI re-initialization, rejoining the job.
+	defaultRespawnDelay = 150 * sim.Microsecond
 )
 
 // healthState is the world-global failure detector.
@@ -130,7 +135,9 @@ func (h *healthState) beacon(id int) {
 		return
 	}
 	now := h.w.eng.Now()
-	if now >= r.stalledUntil {
+	if now >= r.stalledUntil && !r.down {
+		// A down rank is frozen: it emits no beacons, so the detector
+		// confirms its death; the beat resumes by itself after revival.
 		h.lastSeen[id] = now
 	}
 	h.w.eng.AfterBG(h.interval, func() { h.beacon(id) })
@@ -188,7 +195,7 @@ func (h *healthState) monitor() {
 func (h *healthState) probe(id int) {
 	r := h.w.ranks[id]
 	h.w.eng.AfterBG(h.probeRTT, func() {
-		if !r.failed {
+		if !r.failed && !r.down {
 			h.lastAck[id] = h.w.eng.Now()
 		}
 	})
@@ -210,6 +217,95 @@ func (h *healthState) markFailed(id int) {
 	for _, fn := range h.w.deathHooks {
 		fn(id)
 	}
+	if h.w.ranks[id].down {
+		h.beginRecovery(id)
+	}
+}
+
+// beginRecovery starts the post-confirmation pipeline for a down
+// application rank: a ULFM-style agreement round first — the survivors
+// run a dissemination consensus over the acknowledged failure, so every
+// rank converges on the same failure epoch before any recovery acts —
+// then respawn, state restore, and thaw.
+func (h *healthState) beginRecovery(id int) {
+	w := h.w
+	alive := 0
+	for _, r := range w.ranks {
+		if !r.failed && !r.down {
+			alive++
+		}
+	}
+	agree := sim.Duration(rounds(alive)) * 2 * h.probeRTT
+	w.eng.AfterBG(agree, func() { h.agreeDone(id) })
+}
+
+// agreeDone runs when the failure agreement completes: the failure
+// epoch advances, survivors are notified with a typed error (under
+// ErrorsReturn only), and the launcher's respawn is charged.
+func (h *healthState) agreeDone(id int) {
+	w := h.w
+	if w.ranks[id].failed {
+		return // permanently killed mid-agreement
+	}
+	w.failureEra++
+	if w.cfg.Errors == ErrorsReturn {
+		// The agreed failure surfaces on every survivor as a typed
+		// MPI_ERR_PROC_FAILED, ULFM-style.
+		for _, r := range w.ranks {
+			if r.failed || r.down {
+				continue
+			}
+			r.raise(ErrProcFailed, "rank %d failed (failure epoch %d); recovery in progress",
+				id, w.failureEra)
+		}
+	}
+	w.eng.AfterBG(defaultRespawnDelay, func() { h.restoreRank(id) })
+}
+
+// restoreRank performs the state restore of the respawned process: the
+// layered runtime rolls the rank's window state back to the last
+// closed-epoch snapshot and replays the open epoch's journal, and the
+// buddy ghost ships the snapshot over the interconnect before the rank
+// may resume.
+func (h *healthState) restoreRank(id int) {
+	w := h.w
+	if w.ranks[id].failed {
+		return
+	}
+	bytes := 0
+	if w.appRestore != nil {
+		if b, _, ok := w.appRestore(id); ok {
+			bytes = b
+		}
+	}
+	d := w.net.InterLatency + sim.Duration(float64(bytes)*w.net.InterPerByte)
+	w.eng.AfterBG(d, func() { h.reviveRank(id) })
+}
+
+// reviveRank thaws the recovered rank: the detector un-fails it, its
+// beacons resume, deferred AMs drain, and the frozen process picks up
+// exactly where the crash interrupted it — on restored state, so the
+// recovered world stays bit-identical to its fault-free twin.
+func (h *healthState) reviveRank(id int) {
+	w := h.w
+	r := w.ranks[id]
+	if r.failed || !r.down {
+		return
+	}
+	r.down = false
+	if h.failed[id] {
+		delete(h.failed, id)
+		h.nfailed--
+	}
+	h.lastSeen[id] = w.eng.Now()
+	delete(h.lastAck, id)
+	delete(h.suspected, id)
+	r.stats.AppRecoveries++
+	if t := w.tracer; t.Enabled() {
+		t.RecordFault(trace.Fault{Kind: "revive", Rank: id, Peer: -1, At: w.eng.Now()})
+	}
+	r.engine.drainDeferred()
+	w.eng.Thaw(r.proc)
 }
 
 // killRank is the ground-truth crash of a world rank at the current
@@ -235,6 +331,33 @@ func (w *World) killRank(id int) {
 	}
 	for _, g := range w.comms {
 		g.reapFailed()
+	}
+}
+
+// crashAppRank is the ground-truth recoverable crash of an application
+// rank: the process freezes mid-flight, its beacons stop, and nothing
+// is torn down — survivors block at collectives exactly as real MPI
+// ranks would, until the detector confirms the death and the recovery
+// pipeline (agreement → respawn → restore → thaw) brings it back.
+func (w *World) crashAppRank(id int) {
+	if id < 0 || id >= len(w.ranks) {
+		return
+	}
+	r := w.ranks[id]
+	if r.failed || r.down || r.proc == nil || r.proc.Done() {
+		return
+	}
+	if !w.healthTracked(id) {
+		// Nobody is watching: the death would never be confirmed and no
+		// recovery could start, wedging the survivors forever. Model the
+		// crash as happening before MPI initialization completed — the
+		// launcher restarts the process invisibly.
+		return
+	}
+	r.down = true
+	w.eng.Freeze(r.proc)
+	if t := w.tracer; t.Enabled() {
+		t.RecordFault(trace.Fault{Kind: "appcrash", Rank: id, Peer: -1, At: w.eng.Now()})
 	}
 }
 
@@ -270,5 +393,9 @@ func (w *World) scheduleFaults() {
 	for _, s := range plan.Stalls {
 		s := s
 		w.eng.AtBG(s.At, func() { w.stallRank(s.Rank, s.Duration) })
+	}
+	for _, c := range plan.AppCrashes {
+		c := c
+		w.eng.AtBG(c.At, func() { w.crashAppRank(c.Rank) })
 	}
 }

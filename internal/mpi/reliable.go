@@ -1,7 +1,9 @@
 package mpi
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"sort"
 
 	"repro/internal/sim"
@@ -68,6 +70,27 @@ type packet struct {
 	delivered bool // p2p: accepted into the destination mailbox
 	acked     bool
 	abandoned bool
+
+	// wireCRC is the CRC32 checksum stamped on the packet at (re)
+	// transmission. A corrupting injector flips it on the wire; the
+	// receiver recomputes the payload checksum and drops mismatches.
+	wireCRC uint32
+}
+
+// payloadCRC is the CRC32 checksum of the packet's payload as the
+// receiver would compute it.
+func (pkt *packet) payloadCRC() uint32 {
+	if pkt.msg != nil {
+		return crc32.ChecksumIEEE(pkt.msg.data)
+	}
+	if op := pkt.op; op.data != nil {
+		return crc32.ChecksumIEEE(op.data)
+	}
+	// Header-only request (e.g. GET): checksum the wire header.
+	var hdr [16]byte
+	binary.LittleEndian.PutUint64(hdr[:8], uint64(pkt.seq))
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(pkt.op.disp))
+	return crc32.ChecksumIEEE(hdr[:])
 }
 
 // wireBytes is the payload size charged for (re)transmission.
@@ -129,7 +152,7 @@ func (rel *reliability) sendOp(op *rmaOp, arrival sim.Time) {
 	st.nextSeq++
 	st.unacked[pkt.seq] = pkt
 	op.relPkt = pkt
-	if rel.w.HealthFailed(key.target) {
+	if rel.w.HealthFailed(key.target) && !rel.w.ranks[key.target].down {
 		// The target was already confirmed dead when this op issued —
 		// the origin's goroutine ran ahead of the detection sweep in
 		// virtual time, so its routing predates the failure verdict.
@@ -161,6 +184,12 @@ func (rel *reliability) transmit(pkt *packet, arrival sim.Time, first bool) {
 	pkt.dataLost = false
 	eng := rel.w.eng
 	dec := rel.w.inj.Transmission()
+	pkt.wireCRC = pkt.payloadCRC()
+	if dec.Corrupt {
+		// Wire corruption: the payload arrives but its checksum no
+		// longer matches; the receiver detects and drops it.
+		pkt.wireCRC = ^pkt.wireCRC
+	}
 	if dec.Drop {
 		pkt.dataLost = true
 	} else {
@@ -195,6 +224,13 @@ func (rel *reliability) timeout(pkt *packet) {
 	dst := w.ranks[st.key.target]
 	origin := w.ranks[st.key.origin]
 	switch {
+	case dst.down:
+		// Down-recoverable peer: hold fire until the revival; the
+		// retransmission then delivers in sequence order, so nothing in
+		// flight to a recovering rank is lost or reordered. (Checked
+		// before the failover case — a confirmed down rank is
+		// health-failed too, but must not be failed over.)
+		rel.armTimer(pkt)
 	case w.HealthFailed(st.key.target) || (dst.failed && !w.healthTracked(st.key.target)):
 		// Peer declared dead (or, when untracked, known dead to the
 		// omniscient simulator): fail the whole stream over, in
@@ -237,6 +273,21 @@ func (rel *reliability) receive(pkt *packet) {
 	if dst.failed {
 		// Swallowed with the dead destination; sender-side timeout and
 		// health detection handle recovery.
+		return
+	}
+	if dst.down {
+		// Down-recoverable destination: the endpoint is gone for the
+		// duration; drop, and let the sender's timeout redeliver after
+		// the revival.
+		pkt.dataLost = true
+		return
+	}
+	if pkt.wireCRC != pkt.payloadCRC() {
+		// Checksum mismatch: the packet was corrupted on the wire. Drop
+		// it exactly like a loss — the sender's timeout sees dataLost
+		// and retransmits with a fresh checksum.
+		dst.stats.CorruptDropped++
+		pkt.dataLost = true
 		return
 	}
 	if pkt.seq > st.expected {
@@ -374,11 +425,45 @@ func (rel *reliability) deliverAck(pkt *packet) {
 // --- Failure handling -------------------------------------------------
 
 // onDeath is the death hook: fail over every stream aimed at the dead
-// rank, eagerly rerouting unacknowledged packets in sequence order.
+// rank, eagerly rerouting unacknowledged packets in sequence order. A
+// down-recoverable rank is not failed over — its packets are held for
+// redelivery after the revival — but the flow-control credits its
+// in-flight ops hold are returned eagerly, so no origin spends the
+// whole downtime starved of credits it can never get back. (Ops in
+// flight *from* the down rank need no cancellation: their acks land in
+// shared bookkeeping and the frozen origin consumes them on thaw.)
 func (rel *reliability) onDeath(worldRank int) {
+	if rel.w.ranks[worldRank].down {
+		rel.returnCredits(worldRank)
+		return
+	}
 	for _, st := range rel.order {
 		if st.key.target == worldRank {
 			rel.failoverStream(st)
+		}
+	}
+}
+
+// returnCredits eagerly releases the flow-control credit of every
+// unacknowledged op in flight to the rank, in stream creation and
+// sequence order (deterministic wake order for parked origins). Each
+// op's credit is nil'd so its eventual terminal state cannot release
+// it a second time.
+func (rel *reliability) returnCredits(worldRank int) {
+	for _, st := range rel.order {
+		if st.key.target != worldRank || len(st.unacked) == 0 {
+			continue
+		}
+		seqs := make([]int64, 0, len(st.unacked))
+		for s := range st.unacked {
+			seqs = append(seqs, s)
+		}
+		sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+		for _, s := range seqs {
+			if op := st.unacked[s].op; op != nil && op.credit != nil {
+				op.credit.release()
+				op.credit = nil
+			}
 		}
 	}
 }

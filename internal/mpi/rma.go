@@ -477,6 +477,11 @@ func (o *rmaOp) apply() bool {
 			copy(mem[base:base+es], o.data[:es])
 		}
 	}
+	if o.kind.isWrite() && o.win.w.guards != nil {
+		// Journal the post-image for any guard over this memory (app-rank
+		// rollback-replay recovery; guards exist only under app-crash plans).
+		o.win.w.journalWrite(reg.seg, base, o.dt.Extent())
+	}
 	if o.pscw {
 		p := o.win.pscwState()
 		if p.applied[o.target] == nil {

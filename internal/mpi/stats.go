@@ -53,6 +53,18 @@ type WorldSummary struct {
 	Successions    int64
 	CmdResends     int64
 	Rebinds        int64
+
+	// Wire-corruption aggregates (zero unless the plan has a nonzero
+	// CorruptRate).
+	FaultCorrupts  int64
+	CorruptDropped int64
+
+	// App-rank recovery aggregates (zero unless the plan schedules
+	// AppCrashes).
+	AppRecoveries  int64
+	SnapshotsTaken int64
+	SnapshotBytes  int64
+	ReplayedOps    int64
 }
 
 // Summary aggregates the counters of every rank.
@@ -82,6 +94,11 @@ func (w *World) Summary() WorldSummary {
 		s.Successions += st.Successions
 		s.CmdResends += st.CmdResends
 		s.Rebinds += st.Rebinds
+		s.CorruptDropped += st.CorruptDropped
+		s.AppRecoveries += st.AppRecoveries
+		s.SnapshotsTaken += st.SnapshotsTaken
+		s.SnapshotBytes += st.SnapshotBytes
+		s.ReplayedOps += st.ReplayedOps
 		if r.engine.peakDepth > s.PeakQueueDepth {
 			s.PeakQueueDepth = r.engine.peakDepth
 		}
@@ -91,6 +108,7 @@ func (w *World) Summary() WorldSummary {
 		s.FaultDrops = fs.Drops
 		s.FaultDelays = fs.Delays
 		s.FaultDups = fs.Dups
+		s.FaultCorrupts = fs.Corrupts
 	}
 	s.RanksFailed = w.failedCount
 	s.P2PLost = w.p2pLost
@@ -118,6 +136,18 @@ func (s WorldSummary) String() string {
 			" recovery[suspects=%d false=%d locks_reclaimed=%d epoch_relocks=%d successions=%d cmd_resends=%d rebinds=%d]",
 			s.Suspects, s.FalseSuspects, s.LocksReclaimed, s.EpochRelocks,
 			s.Successions, s.CmdResends, s.Rebinds)
+	}
+	// Wire-corruption section appears only under a nonzero CorruptRate.
+	if s.FaultCorrupts != 0 || s.CorruptDropped != 0 {
+		out += fmt.Sprintf(" corrupt[injected=%d dropped=%d]",
+			s.FaultCorrupts, s.CorruptDropped)
+	}
+	// App-recovery section appears only when an application rank crashed
+	// recoverably (snapshots alone are silent — they are insurance, not
+	// an event worth a changed summary line).
+	if s.AppRecoveries != 0 || s.ReplayedOps != 0 {
+		out += fmt.Sprintf(" apprecovery[recovered=%d snapshots=%d snap_bytes=%d replayed=%d]",
+			s.AppRecoveries, s.SnapshotsTaken, s.SnapshotBytes, s.ReplayedOps)
 	}
 	// Flow-control section appears only when credits actually bound.
 	if s.CreditStalls != 0 || s.CreditStallTime != 0 || s.BacklogDropped != 0 {

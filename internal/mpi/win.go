@@ -70,8 +70,9 @@ func (g *winGlobal) lockMgr(target int) *lockManager {
 	if g.lockMgrs[target] == nil {
 		m := &lockManager{}
 		// A manager instantiated after its target was confirmed dead
-		// starts in dead mode: there is nothing left to arbitrate.
-		if g.w.HealthFailed(g.comm.ranks[target]) {
+		// starts in dead mode: there is nothing left to arbitrate. A
+		// down-recoverable target is not dead — it will resume.
+		if tw := g.comm.ranks[target]; g.w.HealthFailed(tw) && !g.w.ranks[tw].down {
 			m.dead = true
 		}
 		g.lockMgrs[target] = m

@@ -150,6 +150,16 @@ type World struct {
 	deathHooks  []func(worldRank int) // fire on health-failure detection
 	failedCount int
 	p2pLost     int64 // p2p messages abandoned at dead destinations
+
+	// App-rank recovery state (all nil/zero unless the plan schedules
+	// AppCrashes). guards journals mutations of guarded window regions
+	// (see RegionGuard); appRestore is the layered runtime's restore
+	// callback (see SetAppRestore); failureEra counts completed
+	// failure-agreement rounds, the "failure epoch" every survivor
+	// converges on.
+	guards     map[*segment][]*RegionGuard
+	appRestore func(worldRank int) (bytes, replayed int, ok bool)
+	failureEra int64
 }
 
 // NewWorld builds a world; ranks exist but are not running until Launch.
@@ -278,6 +288,11 @@ func (w *World) AddDeathHook(fn func(worldRank int)) {
 // and later requests auto-admit, so no epoch blocks on a confirmed
 // corpse (see lockManager.reclaim).
 func (w *World) reclaimLocksAt(dead int) {
+	if w.ranks[dead].down {
+		// Down-recoverable rank: its lock managers keep arbitrating and
+		// its holds stay held — the revived process resumes them.
+		return
+	}
 	for _, g := range w.wins {
 		if g.freed {
 			continue
@@ -313,6 +328,34 @@ func (w *World) NoteCmdResend(worldRank int) { w.ranks[worldRank].stats.CmdResen
 // NoteRebind records one bound-target failover performed by worldRank.
 func (w *World) NoteRebind(worldRank int) { w.ranks[worldRank].stats.Rebinds++ }
 
+// NoteSnapshot records one epoch-close snapshot of n bytes shipped by
+// worldRank (a ghost) to its buddy.
+func (w *World) NoteSnapshot(worldRank, n int) {
+	st := &w.ranks[worldRank].stats
+	st.SnapshotsTaken++
+	st.SnapshotBytes += int64(n)
+}
+
+// NoteReplayedOps records n journaled RMA ops replayed by worldRank
+// during a restore.
+func (w *World) NoteReplayedOps(worldRank, n int) {
+	w.ranks[worldRank].stats.ReplayedOps += int64(n)
+}
+
+// SetAppRestore installs the layered runtime's restore callback for
+// recovering application ranks. When the failure detector's agreement
+// round on a recoverable crash completes, the runtime calls fn (engine
+// context; it must not park) with the dead world rank; fn restores the
+// rank's window state from its last closed-epoch snapshot plus the open
+// epoch's journal and returns the snapshot bytes it had to ship from
+// the buddy ghost and the ops it replayed, so the detector can charge
+// the transfer before thawing the rank. ok=false means no guarded state
+// exists (the rank crashed before its first window); the respawn then
+// restores nothing.
+func (w *World) SetAppRestore(fn func(worldRank int) (bytes, replayed int, ok bool)) {
+	w.appRestore = fn
+}
+
 // Launch spawns every rank running main and schedules them at time 0,
 // then arms any configured fault plan.
 func (w *World) Launch(main func(r *Rank)) {
@@ -331,6 +374,10 @@ func (w *World) FaultsEnabled() bool { return w.inj != nil }
 
 // Failed reports this rank's ground-truth crash state.
 func (r *Rank) Failed() bool { return r.failed }
+
+// Down reports whether the rank is mid-recovery from a recoverable app
+// crash: frozen and unreachable, but due to be respawned.
+func (r *Rank) Down() bool { return r.down }
 
 // FailedCount returns the number of ranks that have crashed.
 func (w *World) FailedCount() int { return w.failedCount }
@@ -422,6 +469,7 @@ type Rank struct {
 	locTo     []uint8          // lazy per-destination locality class (0xFF unset)
 
 	failed       bool     // ground-truth crash (see health.go)
+	down         bool     // recoverable app crash in progress (see crashAppRank)
 	stalledUntil sim.Time // progress engine frozen until this time
 
 	lastErr  *MPIError // first unconsumed error under ErrorsReturn
@@ -447,6 +495,7 @@ type RankStats struct {
 	DupsSuppressed int64 // duplicate packets discarded at this rank
 	Reroutes       int64 // ops failed over to a replacement target
 	Abandoned      int64 // ops given up on (error surfaced)
+	CorruptDropped int64 // packets dropped at this rank on CRC mismatch
 
 	// Flow-control counters (all zero without a FlowConfig).
 	CreditStalls    int64        // issues that had to wait for a credit
@@ -463,6 +512,15 @@ type RankStats struct {
 	Successions    int64 // sequencer takeovers performed by this rank
 	CmdResends     int64 // logged commands retransmitted by a successor
 	Rebinds        int64 // bound targets failed over to a surviving ghost
+
+	// App-rank recovery counters (all zero unless the plan schedules
+	// AppCrashes). AppRecoveries accrues on the recovered rank;
+	// SnapshotsTaken / SnapshotBytes / ReplayedOps accrue on the ghost
+	// performing the snapshot or replay.
+	AppRecoveries  int64 // recoverable crashes this rank came back from
+	SnapshotsTaken int64 // epoch-close snapshots shipped by this ghost
+	SnapshotBytes  int64 // bytes of window state shipped to buddy ghosts
+	ReplayedOps    int64 // journaled RMA ops replayed during a restore
 }
 
 func newRank(w *World, id int) *Rank {

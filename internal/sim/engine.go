@@ -489,6 +489,43 @@ func (e *Engine) Kill(p *Proc) {
 	e.live--
 }
 
+// Freeze suspends a process from engine context without terminating it:
+// resume and start events addressed to it are swallowed until Thaw,
+// which replays at most one of them. Unlike Kill the process stays in
+// the live count — a frozen process is expected back, so the simulation
+// must not end (or discard background events) while it sleeps. Freezing
+// a finished or killed process is a no-op; it reports whether the
+// freeze took effect.
+func (e *Engine) Freeze(p *Proc) bool {
+	if p.state == stateDone || p.killed || p.frozen {
+		return false
+	}
+	p.frozen = true
+	return true
+}
+
+// Thaw lifts a Freeze. If any wakeup was swallowed while frozen, a
+// single resume (or start) is scheduled now: the waiting primitives all
+// re-check their predicates after waking, so coalescing any number of
+// deferred wakeups into one is indistinguishable from delivering them
+// all. Thawing a process that was never frozen is a no-op.
+func (e *Engine) Thaw(p *Proc) {
+	if !p.frozen {
+		return
+	}
+	p.frozen = false
+	if !p.deferredWake {
+		return
+	}
+	p.deferredWake = false
+	e.seq++
+	kind := evResume
+	if p.state == stateNew {
+		kind = evStart
+	}
+	e.schedule(event{at: e.now, seq: e.seq, p: p, kind: kind})
+}
+
 // Spawn creates a new process named name running fn and schedules it to
 // start at the current virtual time. The returned Proc may be used as a
 // wake target before it has started.
@@ -626,6 +663,10 @@ func (e *Engine) execOne(ev event) *Proc {
 		ev.run.Step()
 	case evResume:
 		if p := ev.p; !p.killed {
+			if p.frozen {
+				p.deferredWake = true
+				return nil
+			}
 			if p.state != stateParked {
 				panic(fmt.Sprintf("sim: waking %s which is not parked", p.name))
 			}
@@ -633,6 +674,10 @@ func (e *Engine) execOne(ev event) *Proc {
 		}
 	case evStart:
 		if p := ev.p; p.state == stateNew && !p.killed {
+			if p.frozen {
+				p.deferredWake = true
+				return nil
+			}
 			p.state = stateRunning
 			return p
 		}

@@ -22,6 +22,12 @@ type Proc struct {
 	state      procState
 	parkReason string
 	killed     bool // Engine.Kill called: never resume again
+
+	// Engine.Freeze state: while frozen, resume/start events addressed
+	// to this process are swallowed; deferredWake records that at least
+	// one was, so Thaw can replay a single coalesced wakeup.
+	frozen       bool
+	deferredWake bool
 }
 
 // Engine returns the engine this process belongs to.
@@ -139,6 +145,12 @@ func (p *Proc) wake() {
 
 // Killed reports whether Engine.Kill has terminated this process.
 func (p *Proc) Killed() bool { return p.killed }
+
+// Done reports whether the process's function has returned.
+func (p *Proc) Done() bool { return p.state == stateDone }
+
+// Frozen reports whether Engine.Freeze currently suspends this process.
+func (p *Proc) Frozen() bool { return p.frozen }
 
 // Signal is a broadcast condition variable in virtual time. Processes
 // Wait on it after observing an unsatisfied predicate; any simulation
