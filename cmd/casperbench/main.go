@@ -5,13 +5,17 @@
 //
 //	casperbench -list
 //	casperbench -run fig4a [-csv] [-scale 0.5] [-seed 7] [-parallel 8]
+//	casperbench -run fig5a -shards 4
 //	casperbench -all
-//	casperbench -bench fig5a -benchout BENCH_fig5a.json
+//	casperbench -bench fig5a -shards 4 -benchout BENCH_fig5a.json
 //
 // -bench runs one experiment twice — serially and with -parallel
 // workers — and writes a JSON perf baseline (wall-clock, events/sec,
 // allocs/event, parallel speedup, bit-identity of the two outputs).
-// -cpuprofile and -memprofile write pprof profiles of the run.
+// With -shards > 0 it additionally sweeps the sharded engine at
+// shards 1/2/4/8 and records a "sharded" block, failing if any run's
+// output differs from the serial engine's. -cpuprofile and
+// -memprofile write pprof profiles of the run.
 package main
 
 import (
@@ -35,6 +39,7 @@ func main() {
 		seed       = flag.Int64("seed", 42, "simulation seed")
 		quick      = flag.Bool("quick", false, "CI smoke mode: shorthand for -scale 0.12")
 		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "sweep worker goroutines (1 = serial)")
+		shards     = flag.Int("shards", 0, "sharded simulation: per-node engines driven by up to N worker goroutines (0 = serial engine); output is identical at any value")
 		chaosSeed  = flag.Int64("chaosseed", 0, "faultchaos: replay this single chaos seed verbosely (0 = full sweep; implies -run faultchaos)")
 		benchID    = flag.String("bench", "", "experiment id to benchmark serial vs -parallel")
 		benchOut   = flag.String("benchout", "", "write the -bench JSON baseline to this file (default stdout)")
@@ -59,7 +64,7 @@ func main() {
 			fatalf("casperbench: -chaosseed applies only to faultchaos, not -bench %s", *benchID)
 		}
 	}
-	opts := bench.Options{Scale: *scale, Seed: *seed, Parallel: *parallel, ChaosSeed: *chaosSeed}
+	opts := bench.Options{Scale: *scale, Seed: *seed, Parallel: *parallel, ChaosSeed: *chaosSeed, Shards: *shards}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -155,12 +160,29 @@ type baseline struct {
 	Serial     bench.Measurement `json:"serial"`
 	Parallel   bench.Measurement `json:"parallel"`
 
+	// Sharded sweeps the same experiment over shard worker counts on
+	// the sharded per-node engine (-shards; Parallel pinned to 1 so
+	// sweep workers don't pollute the timing). Present only when the
+	// -bench invocation passed -shards > 0. On a single-CPU host
+	// (gomaxprocs 1 above) events/sec cannot exceed the serial
+	// engine's — the block still records the honest numbers.
+	Sharded []shardPoint `json:"sharded,omitempty"`
+
 	// SpeedupExpected is false when the run cannot exhibit a parallel
 	// speedup — a single worker requested, or a single schedulable CPU —
 	// in which case ParallelSpeedup is omitted rather than reported as a
 	// misleading sub-1.0 ratio of two serial runs.
 	SpeedupExpected bool    `json:"speedup_expected"`
 	ParallelSpeedup float64 `json:"parallel_speedup,omitempty"`
+	OutputIdentical bool    `json:"output_identical"`
+}
+
+// shardPoint is one entry of the baseline's sharded sweep.
+type shardPoint struct {
+	Shards          int     `json:"shards"`
+	WallSeconds     float64 `json:"wall_seconds"`
+	Events          int64   `json:"events"`
+	EventsPerSec    float64 `json:"events_per_sec"`
 	OutputIdentical bool    `json:"output_identical"`
 }
 
@@ -193,10 +215,17 @@ func checkAllocGate(path string, m bench.Measurement) error {
 }
 
 func runBench(e bench.Experiment, o bench.Options, out, gate string) error {
+	// Both named measurements run on the serial engine: the allocgate's
+	// 0.05 slack is only meaningful against a single-goroutine run (see
+	// bench.Measurement), and "parallel" measures sweep workers, not
+	// shard workers. Shard workers get their own sweep below.
 	serial := o
 	serial.Parallel = 1
+	serial.Shards = 0
+	par := o
+	par.Shards = 0
 	ms := bench.Measure(e, serial)
-	mp := bench.Measure(e, o)
+	mp := bench.Measure(e, par)
 	b := baseline{
 		Experiment:      e.ID,
 		Scale:           o.Scale,
@@ -215,6 +244,24 @@ func runBench(e bench.Experiment, o bench.Options, out, gate string) error {
 	}
 	if !b.OutputIdentical {
 		return fmt.Errorf("%s: parallel output differs from serial", e.ID)
+	}
+	if o.Shards > 0 {
+		for _, s := range []int{1, 2, 4, 8} {
+			so := serial
+			so.Shards = s
+			m := bench.Measure(e, so)
+			p := shardPoint{
+				Shards:          s,
+				WallSeconds:     m.WallSeconds,
+				Events:          m.Events,
+				EventsPerSec:    m.EventsPerSec,
+				OutputIdentical: m.CSV == ms.CSV,
+			}
+			b.Sharded = append(b.Sharded, p)
+			if !p.OutputIdentical {
+				return fmt.Errorf("%s: -shards %d output differs from serial", e.ID, s)
+			}
+		}
 	}
 	if gate != "" {
 		if err := checkAllocGate(gate, ms); err != nil {

@@ -10,8 +10,20 @@ import (
 // Measurement is one timed experiment run: the wall-clock cost of
 // simulating, with the simulator's own throughput counters. Events come
 // from mpi.TotalEventsExecuted deltas (every World.Run adds its
-// engine's executed-event count), allocations from runtime.MemStats
-// Mallocs deltas — both process-wide, so measure one run at a time.
+// engines' executed-event counts — all shard engines on a sharded
+// world), allocations from runtime.MemStats Mallocs deltas — both
+// process-wide, so measure one run at a time.
+//
+// Contract for multi-goroutine runs (Options.Parallel > 1 or
+// Options.Shards > 0): Events and EventsPerSec stay exact — the
+// counter is an atomic the engines add to regardless of which
+// goroutine executes an event. Mallocs does not: the process-wide
+// delta picks up worker-goroutine stacks, scheduler bookkeeping, and
+// mailbox growth on top of the event loop's own allocations, so
+// AllocsPerEvent is only comparable against a committed baseline when
+// measured with Parallel <= 1 and Shards == 0. The casperbench
+// allocgate therefore always gates on the serial measurement (see
+// cmd/casperbench runBench), never on a parallel or sharded one.
 type Measurement struct {
 	Experiment     string  `json:"experiment"`
 	Parallel       int     `json:"parallel"`

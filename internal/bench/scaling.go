@@ -1,6 +1,9 @@
 package bench
 
 import (
+	"math/rand"
+	"sync"
+
 	"repro/internal/core"
 	"repro/internal/mpi"
 	"repro/internal/netmodel"
@@ -58,23 +61,34 @@ func allToAllWorkload(kind mpi.OpKind, jitter func() sim.Duration) func(env mpi.
 
 // runScaling measures the all-to-all workload for one approach at one
 // process count (ppn = 1 user process per node, as in the paper).
-func runScaling(a approach, kind mpi.OpKind, procs int, seed int64) float64 {
+// shards > 0 runs the simulation on the sharded engine (see
+// mpi.Config.Shards); the result is identical at any value.
+func runScaling(a approach, kind mpi.OpKind, procs int, seed int64, shards int) float64 {
+	// Rank bodies run on different shard engines concurrently; the
+	// reduction below is the only cross-rank state they touch.
+	var mu sync.Mutex
 	var maxEl sim.Duration
-	var w *mpi.World
-	jitter := func() sim.Duration {
-		return sim.Duration(w.Engine().Rand().Int63n(int64(sim.Microseconds(100))))
-	}
 	body := func(env mpi.Env) {
+		// The compute jitter is a per-rank stream seeded from (seed,
+		// rank), independent of the simulation engine's RNG: the draws —
+		// and therefore the measured times — are identical on the serial
+		// and sharded engines, for any shard worker count.
+		rng := rand.New(rand.NewSource(seed + 0x9E3779B9*int64(env.Rank()+1)))
+		jitter := func() sim.Duration {
+			return sim.Duration(rng.Int63n(int64(sim.Microseconds(100))))
+		}
 		el := allToAllWorkload(kind, jitter)(env)
+		mu.Lock()
 		if el > maxEl {
 			maxEl = el
 		}
+		mu.Unlock()
 	}
 	if a.ghosts > 0 {
 		ppn := 1 + a.ghosts
 		cfg := worldConfig(a.net(), procs*ppn, ppn, a.prog, a.oversub, seed)
-		var err error
-		w, err = mpi.NewWorld(cfg)
+		cfg.Shards = shards
+		w, err := mpi.NewWorld(cfg)
 		if err != nil {
 			panic(err)
 		}
@@ -91,8 +105,8 @@ func runScaling(a approach, kind mpi.OpKind, procs int, seed int64) float64 {
 		}
 	} else {
 		cfg := worldConfig(a.net(), procs, 1, a.prog, a.oversub, seed)
-		var err error
-		w, err = mpi.NewWorld(cfg)
+		cfg.Shards = shards
+		w, err := mpi.NewWorld(cfg)
 		if err != nil {
 			panic(err)
 		}
@@ -124,7 +138,7 @@ func scalingExperiment(id, figure, title string, kind mpi.OpKind,
 				series[ai] = Series{Name: a.name, Y: make([]float64, len(procs))}
 			}
 			o.grid(len(as), len(procs), func(ai, pi int) {
-				series[ai].Y[pi] = runScaling(as[ai], kind, procs[pi], o.Seed)
+				series[ai].Y[pi] = runScaling(as[ai], kind, procs[pi], o.Seed, o.Shards)
 			})
 			res.Series = series
 			return res

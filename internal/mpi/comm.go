@@ -19,17 +19,36 @@ const (
 type commGlobal struct {
 	id    int
 	w     *World
+	eng   *sim.Engine // engine of comm rank 0: the collective rendezvous owner
 	ranks []int       // comm rank -> world rank
 	index map[int]int // world rank -> comm rank
 	gen   []int       // per comm-rank collective sequence number
 	colls map[int]*collOp
+
+	// Sharded-execution state: crossShard marks a comm whose members
+	// span shard engines (its collectives go through the owner-mediated
+	// path in shard.go, keyed by generation in scolls). A comm contained
+	// in one shard runs the serial rendezvous on that shard's engine.
+	crossShard bool
+	scolls     map[int]*shardColl
 }
 
 func (w *World) newCommGlobal(worldRanks []int) *commGlobal {
+	if s := w.sharded; s != nil {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+	}
+	return w.newCommGlobalLocked(worldRanks)
+}
+
+// newCommGlobalLocked is newCommGlobal without the registry lock, for
+// callers that already hold it across a check-then-create sequence.
+func (w *World) newCommGlobalLocked(worldRanks []int) *commGlobal {
 	w.commSeq++
 	g := &commGlobal{
 		id:    w.commSeq,
 		w:     w,
+		eng:   w.eng,
 		ranks: append([]int(nil), worldRanks...),
 		index: make(map[int]int, len(worldRanks)),
 		gen:   make([]int, len(worldRanks)),
@@ -37,6 +56,17 @@ func (w *World) newCommGlobal(worldRanks []int) *commGlobal {
 	}
 	for i, r := range g.ranks {
 		g.index[r] = i
+	}
+	if s := w.sharded; s != nil {
+		sh := s.shardOf[g.ranks[0]]
+		g.eng = s.engines[sh]
+		for _, r := range g.ranks[1:] {
+			if s.shardOf[r] != sh {
+				g.crossShard = true
+				break
+			}
+		}
+		g.scolls = make(map[int]*shardColl)
 	}
 	w.comms = append(w.comms, g)
 	return g
@@ -153,7 +183,7 @@ func (c *Comm) Send(dest, tag int, data []byte) {
 	destWorld := c.g.ranks[dest]
 	msg := &inMsg{commID: c.g.id, src: c.me, tag: tag, data: append([]byte(nil), data...)}
 	dr := c.g.w.ranks[destWorld]
-	eng := r.w.eng
+	eng := r.eng
 	arrival := eng.Now().Add(r.transferTo(destWorld, len(data)))
 	if r.p2pLast == nil {
 		r.p2pLast = map[int]sim.Time{}
@@ -165,7 +195,7 @@ func (c *Comm) Send(dest, tag int, data []byte) {
 	if rel := r.w.rel; rel != nil {
 		rel.sendMsg(r, destWorld, msg, arrival)
 	} else {
-		eng.At(arrival, func() { dr.mailbox.arrive(msg) })
+		r.w.schedule(eng, dr.eng, arrival, func() { dr.mailbox.arrive(msg) })
 	}
 	r.stats.MessagesSent++
 }
@@ -224,6 +254,9 @@ func (c *Comm) collective(name string, val interface{},
 	r.mpiEnter()
 	defer r.mpiLeave()
 	g := c.g
+	if g.crossShard {
+		return c.collectiveSharded(name, val, cost, reduce)
+	}
 	gen := g.gen[c.me]
 	g.gen[c.me]++
 	coll, ok := g.colls[gen]
@@ -293,7 +326,7 @@ func (g *commGlobal) maybeComplete(coll *collOp) {
 		coll.result = coll.reduce(coll.vals)
 	}
 	done := coll.done.Complete
-	g.w.eng.After(coll.cost, done)
+	g.eng.After(coll.cost, done)
 }
 
 // reapFailed re-examines this comm's open collectives after a crash
@@ -520,6 +553,12 @@ func (r *Rank) CommFromGroup(worldRanks []int) *Comm {
 	sort.Ints(sorted)
 	key := fmt.Sprint(sorted)
 	w := r.w
+	if s := w.sharded; s != nil {
+		// The check-then-create below must be atomic against members on
+		// other shards racing to instantiate the same communicator.
+		s.mu.Lock()
+		defer s.mu.Unlock()
+	}
 	if w.groupComms == nil {
 		w.groupComms = map[string][]*commGlobal{}
 	}
@@ -530,7 +569,7 @@ func (r *Rank) CommFromGroup(worldRanks []int) *Comm {
 	r.groupUses[key]++
 	insts := w.groupComms[key]
 	if idx >= len(insts) {
-		insts = append(insts, w.newCommGlobal(sorted))
+		insts = append(insts, w.newCommGlobalLocked(sorted))
 		w.groupComms[key] = insts
 	}
 	return insts[idx].handleFor(r)

@@ -42,7 +42,7 @@ type rankEngine struct {
 
 func (e *rankEngine) init(r *Rank) {
 	e.r = r
-	e.srv = sim.NewServer(r.w.eng)
+	e.srv = sim.NewServer(r.eng)
 }
 
 // LoadDepth returns the number of software AMs submitted to this
@@ -62,12 +62,12 @@ func (r *Rank) ServiceEWMA() float64 { return r.engine.ewma }
 // and flush-dip-free load signal for the overload rebalancer.
 func (r *Rank) LoadIntegral() sim.Duration {
 	e := r.engine
-	return e.depthInteg + sim.Duration(e.depth)*sim.Duration(r.w.eng.Now().Sub(e.depthAt))
+	return e.depthInteg + sim.Duration(e.depth)*sim.Duration(r.eng.Now().Sub(e.depthAt))
 }
 
 // noteDepth accrues the depth integral and applies a depth change.
 func (e *rankEngine) noteDepth(dd int) {
-	now := e.r.w.eng.Now()
+	now := e.r.eng.Now()
 	e.depthInteg += sim.Duration(e.depth) * sim.Duration(now.Sub(e.depthAt))
 	e.depthAt = now
 	e.depth += dd
@@ -132,7 +132,7 @@ func (e *rankEngine) deliver(op *rmaOp) {
 		e.pending = append(e.pending, op)
 		return
 	}
-	if now := r.w.eng.Now(); now < r.stalledUntil {
+	if now := r.eng.Now(); now < r.stalledUntil {
 		// Stalled progress engine: the AM sits in the NIC until the
 		// stall ends. Regular event — the origin is parked waiting for
 		// the ack, so this must keep the simulation alive. The original
@@ -140,7 +140,7 @@ func (e *rankEngine) deliver(op *rmaOp) {
 		// (Cold path: a closure here is fine; it must redeliver to THIS
 		// engine, which may differ from rankOf(op.target) on failover.)
 		until := r.stalledUntil
-		r.w.eng.At(until, func() { e.deliver(op) })
+		r.eng.At(until, func() { e.deliver(op) })
 		return
 	}
 	switch e.r.w.cfg.Progress {
@@ -174,7 +174,7 @@ func (e *rankEngine) deliver(op *rmaOp) {
 // processing cost (thread lock contention); extra adds a fixed overhead
 // (interrupt entry). It returns the total service time charged.
 func (e *rankEngine) service(op *rmaOp, factor float64, extra sim.Duration) sim.Duration {
-	cost := sim.Duration(float64(e.r.w.memo.AMCost(op.bytes(), op.contiguous()))*factor) + extra
+	cost := sim.Duration(float64(e.r.memo.AMCost(op.bytes(), op.contiguous()))*factor) + extra
 	e.noteDepth(1)
 	if e.ewma == 0 {
 		e.ewma = float64(cost)

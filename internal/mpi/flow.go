@@ -154,7 +154,7 @@ func (w *World) waitDiagnostics() []string {
 		edges = append(edges, w.flow.waitEdges()...)
 	}
 	for _, g := range w.wins {
-		if g.freed {
+		if g.freed.Load() {
 			continue
 		}
 		for _, win := range g.handles {

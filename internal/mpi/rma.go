@@ -117,7 +117,7 @@ func (o *rmaOp) Step() {
 		o.promoteWire()
 		o.applyHardware(o.win.rankOf(o.target))
 	case opPhaseSvcDone:
-		if o.win.w.eng.Now() != o.svcEnd {
+		if o.win.w.ranks[o.svcOwner].eng.Now() != o.svcEnd {
 			// Stale completion: the op was submitted to a rank that died
 			// with this event still queued, then failed over and
 			// resubmitted to a replacement engine (overwriting svcOwner
@@ -176,10 +176,10 @@ func (o *rmaOp) ackBytes() int {
 
 // --- Issue path (origin side) ----------------------------------------
 
-// newOp fetches a zeroed rmaOp from the world's freelist (or the heap
-// when recycling is off) and fills the fields common to every kind.
+// newOp fetches a zeroed rmaOp from the issuing rank's freelist (or the
+// heap when recycling is off) and fills the fields common to every kind.
 func (w *Win) newOp(kind OpKind, target, disp int, dt Datatype, op Op) *rmaOp {
-	o := w.g.w.getOp()
+	o := w.r.getOp()
 	o.kind, o.target, o.disp, o.dt, o.op = kind, target, disp, dt, op
 	return o
 }
@@ -258,7 +258,7 @@ func (w *Win) issue(op *rmaOp) {
 				// ErrorsReturn: drop the op before any accounting. data/cmp
 				// still alias the caller's buffers here, so there is
 				// nothing pooled to release — just the op header.
-				r.w.putOp(op)
+				r.putOp(op)
 				return
 			}
 		}
@@ -278,7 +278,7 @@ func (w *Win) issue(op *rmaOp) {
 			if w.g.onOpDone != nil {
 				w.g.onOpDone(w.me, op.target, op.disp)
 			}
-			r.w.putOp(op)
+			r.putOp(op)
 			return
 		}
 		op.credit = ch
@@ -292,7 +292,7 @@ func (w *Win) issue(op *rmaOp) {
 		// Pool the packed payload copy: it lives exactly until the op's
 		// terminal state (opTerminal), where it is recycled.
 		n := op.dt.Size()
-		buf := r.w.pool.get(n)
+		buf := r.pool.get(n)
 		copy(buf, op.data[:n])
 		op.data = buf
 	}
@@ -300,7 +300,7 @@ func (w *Win) issue(op *rmaOp) {
 		// The compare value is snapshotted through the pool too, so the
 		// whole op (header and payloads) recycles without garbage.
 		n := len(op.cmp)
-		buf := r.w.pool.get(n)
+		buf := r.pool.get(n)
 		copy(buf, op.cmp)
 		op.cmp = buf
 	}
@@ -341,8 +341,11 @@ func (w *Win) issue(op *rmaOp) {
 
 	// Count the op as outstanding at issue time, so that flushes and
 	// fences also wait for operations still queued behind a pending
-	// lazy lock acquisition.
-	w.g.inflight.Add(1)
+	// lazy lock acquisition. The window-global count is fence machinery,
+	// unusable (and unused — Fence panics) under sharded execution.
+	if w.g.w.sharded == nil {
+		w.g.inflight.Add(1)
+	}
 	op.pending.Add(1)
 	if op.req != nil {
 		op.req.pending.Add(1)
@@ -369,7 +372,7 @@ func inGroup(group []int, t int) bool {
 func (w *Win) send(op *rmaOp) {
 	g := w.g
 	r := w.r
-	eng := r.w.eng
+	eng := r.eng
 	targetWorld := g.comm.ranks[op.target]
 	wire := r.transferTo(targetWorld, op.wireOutBytes())
 	ts := w.target(op.target)
@@ -389,6 +392,15 @@ func (w *Win) send(op *rmaOp) {
 		op.phase = opPhaseHW
 	} else {
 		op.phase = opPhaseArrive
+	}
+	if tr := g.rankOf(op.target); tr.eng != eng {
+		// Cross-shard: the op travels through the mailbox system instead
+		// of the wire chain (whose chained heap events are an engine-local
+		// optimization). The injection key reserved on the origin engine
+		// keeps channel FIFO order; arrival monotonicity was enforced
+		// above.
+		r.w.sharded.group.InjectRun(eng, tr.eng, arrival, op)
+		return
 	}
 	if eng.FastPathsDisabled() {
 		eng.AtRun(arrival, op)
@@ -426,7 +438,10 @@ func (o *rmaOp) promoteWire() {
 		ts.wireTail = nil
 		return
 	}
-	o.win.w.eng.AtRunReserved(next.arrived, next.evSeq, next)
+	// The chain only ever forms on same-engine channels (cross-shard ops
+	// go through the mailboxes), so the origin's engine is the one whose
+	// seq was reserved and whose heap we are standing in.
+	o.win.rankOf(o.origin).eng.AtRunReserved(next.arrived, next.evSeq, next)
 }
 
 // --- Apply path (target side) ----------------------------------------
@@ -455,7 +470,7 @@ func (o *rmaOp) apply() bool {
 	}
 	mem := reg.seg.data
 	base := reg.off + disp
-	pool := &o.win.w.pool
+	pool := o.win.rankOf(o.target).pool
 	switch o.kind {
 	case KindPut:
 		accumulate(OpReplace, o.dt, mem, base, o.data)
@@ -488,7 +503,7 @@ func (o *rmaOp) apply() bool {
 			p.applied[o.target] = map[int]int64{}
 		}
 		p.applied[o.target][o.origin]++
-		p.sig.Broadcast()
+		o.win.sigFor(o.target).Broadcast()
 	}
 	return true
 }
@@ -525,7 +540,9 @@ func (o *rmaOp) applyAndAck() {
 		reg, disp, _ := o.targetRegion()
 		v.recordApply(o, reg, disp, o.svcOwner)
 	}
-	o.win.inflight.Done()
+	if o.win.w.sharded == nil {
+		o.win.inflight.Done()
+	}
 	o.ack()
 }
 
@@ -534,7 +551,7 @@ func (o *rmaOp) applyHardware(tr *Rank) {
 	if o.applied {
 		return
 	}
-	now := o.win.w.eng.Now()
+	now := tr.eng.Now()
 	o.svcStart, o.svcEnd, o.svcOwner = now, now, -1
 	ok := o.apply()
 	tr.stats.HardwareOps++
@@ -549,7 +566,9 @@ func (o *rmaOp) applyHardware(tr *Rank) {
 			Bytes: o.bytes(), Arrived: now, Start: now, End: now, Hardware: true,
 		})
 	}
-	o.win.inflight.Done()
+	if o.win.w.sharded == nil {
+		o.win.inflight.Done()
+	}
 	o.ack()
 }
 
@@ -558,13 +577,19 @@ func (o *rmaOp) ack() {
 	g := o.win
 	originWorld := g.comm.ranks[o.origin]
 	targetWorld := g.comm.ranks[o.target]
-	wire := g.w.ranks[targetWorld].transferTo(originWorld, o.ackBytes())
+	tr := g.w.ranks[targetWorld]
+	wire := tr.transferTo(originWorld, o.ackBytes())
 	if rel := g.w.rel; rel != nil {
 		rel.sendAck(o.relPkt, wire, true)
 		return
 	}
 	o.phase = opPhaseAck
-	g.w.eng.AfterRun(wire, o)
+	or := g.w.ranks[originWorld]
+	if or.eng != tr.eng {
+		g.w.sharded.group.InjectRun(tr.eng, or.eng, tr.eng.Now().Add(wire), o)
+		return
+	}
+	tr.eng.AfterRun(wire, o)
 }
 
 // ackDelivered lands the completion ack at the origin: result data is
@@ -587,20 +612,26 @@ func (o *rmaOp) ackDelivered() {
 // it returns the flow-control credit, recycles the op's pooled
 // buffers, and notifies the op observer. Runs in engine context.
 func (g *winGlobal) opTerminal(o *rmaOp) {
+	// Buffers recycle into the origin's pool: terminal state is reached
+	// in the origin's engine context, whose pool is the only one legal to
+	// touch. A result buffer drawn from the target's pool migrates here —
+	// harmless for a size-classed freelist, and the outstanding counters
+	// still balance in aggregate (see World.PoolOutstanding).
+	or := g.rankOf(o.origin)
 	if o.credit != nil {
 		o.credit.release()
 		o.credit = nil
 	}
 	if o.data != nil {
-		g.w.pool.put(o.data)
+		or.pool.put(o.data)
 		o.data = nil
 	}
 	if o.cmp != nil {
-		g.w.pool.put(o.cmp)
+		or.pool.put(o.cmp)
 		o.cmp = nil
 	}
 	if o.result != nil {
-		g.w.pool.put(o.result)
+		or.pool.put(o.result)
 		o.result = nil
 	}
 	if g.onOpDone != nil {
@@ -608,5 +639,5 @@ func (g *winGlobal) opTerminal(o *rmaOp) {
 	}
 	// Recycle the header last: putOp zeroes the op. Under a fault plan
 	// recycling is disabled (packets hold op pointers past this point).
-	g.w.putOp(o)
+	or.putOp(o)
 }

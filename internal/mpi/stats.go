@@ -69,7 +69,7 @@ type WorldSummary struct {
 
 // Summary aggregates the counters of every rank.
 func (w *World) Summary() WorldSummary {
-	s := WorldSummary{Ranks: len(w.ranks), EndTime: w.eng.Now()}
+	s := WorldSummary{Ranks: len(w.ranks), EndTime: w.now()}
 	for _, r := range w.ranks {
 		st := r.stats
 		s.SoftwareAMs += st.SoftwareAMs

@@ -103,6 +103,20 @@ type Config struct {
 	// bit-identical either way — this exists so tests can prove it and
 	// benchmarks can measure the difference.
 	NoSimFastPath bool
+	// Shards > 0 enables sharded execution: the world's processes are
+	// partitioned across one simulation engine per node (ghosts co-located
+	// with the app ranks they serve), executed by up to Shards worker
+	// goroutines under conservative safe windows bounded by the network
+	// model's minimum cross-node latency (netmodel.Params.Lookahead). The
+	// executed event order, RNG draws per rank, and all experiment output
+	// are identical to the serial engine and identical across any Shards
+	// value — only wall-clock parallelism changes. Worlds the sharded
+	// engine cannot run (fault plans, flow control, the validator, or a
+	// single node) silently fall back to the serial engine.
+	Shards int
+	// NoShardedSim forces the serial engine even when Shards > 0 — the
+	// A/B escape hatch mirroring NoSimFastPath.
+	NoShardedSim bool
 }
 
 // World is one simulated MPI job: an engine, a placement, and N ranks.
@@ -134,14 +148,21 @@ type World struct {
 	pool bufPool
 
 	// memo caches the net cost-model lookups (latency memoization).
-	// Owned by this world's single simulation goroutine.
+	// Owned by this world's single simulation goroutine (per-shard
+	// instances live in sharded; every rank reaches its own through
+	// Rank.memo).
 	memo *netmodel.Memo
 
-	// opFree recycles rmaOp headers so the steady-state message path
-	// allocates nothing. Disabled (opRecycle false) under a fault plan,
-	// where reliability packets retain op pointers past terminal state.
-	opFree    []*rmaOp
+	// opRecycle enables rmaOp header recycling (see Rank.getOp). Disabled
+	// under a fault plan, where reliability packets retain op pointers
+	// past terminal state.
 	opRecycle bool
+
+	// sharded holds the parallel-execution state when Config.Shards
+	// selected (and the world is eligible for) the sharded engine; nil
+	// means the classic serial engine. While sharded, eng is nil so any
+	// code path not routed through per-rank engines fails loudly.
+	sharded *shardState
 
 	// Fault-injection state; all nil/zero without a Config.Fault plan.
 	inj         *fault.Injector
@@ -175,15 +196,21 @@ func NewWorld(cfg Config) (*World, error) {
 		return nil, err
 	}
 	w := &World{
-		eng:       sim.New(cfg.Seed),
 		place:     place,
 		net:       cfg.Net,
 		cfg:       cfg,
 		memo:      netmodel.NewMemo(cfg.Net),
 		opRecycle: cfg.Fault == nil,
 	}
+	if shardEligible(cfg, place) {
+		w.sharded = newShardState(w)
+	} else {
+		w.eng = sim.New(cfg.Seed)
+	}
 	if cfg.NoSimFastPath {
-		w.eng.DisableFastPaths()
+		for _, e := range w.allEngines() {
+			e.DisableFastPaths()
+		}
 	}
 	if cfg.Validate {
 		w.validator = newValidator()
@@ -205,7 +232,12 @@ func NewWorld(cfg Config) (*World, error) {
 		maxEvents = 250_000_000
 	}
 	if maxEvents != 0 || cfg.WatchdogTime != 0 {
-		w.eng.SetWatchdog(maxEvents, cfg.WatchdogTime)
+		if s := w.sharded; s != nil {
+			s.group.SetEventBudget(maxEvents)
+			s.group.SetMaxTime(cfg.WatchdogTime)
+		} else {
+			w.eng.SetWatchdog(maxEvents, cfg.WatchdogTime)
+		}
 	}
 	if cfg.Fault != nil || cfg.Flow != nil {
 		// Hang diagnostics: if the timeline wedges (deadlock) or spins
@@ -226,8 +258,67 @@ func NewWorld(cfg Config) (*World, error) {
 	return w, nil
 }
 
-// Engine returns the simulation engine.
+// Engine returns the simulation engine — nil under sharded execution,
+// where there is one engine per node (see Rank.Engine).
 func (w *World) Engine() *sim.Engine { return w.eng }
+
+// Sharded reports whether the world runs on the sharded engine.
+func (w *World) Sharded() bool { return w.sharded != nil }
+
+// ShardCount returns the number of shards (simulation engines) of a
+// sharded world, and 0 for a serial one.
+func (w *World) ShardCount() int {
+	if w.sharded == nil {
+		return 0
+	}
+	return len(w.sharded.engines)
+}
+
+// allEngines returns every simulation engine of the world: the per-node
+// shard engines, or the single serial engine.
+func (w *World) allEngines() []*sim.Engine {
+	if s := w.sharded; s != nil {
+		return s.engines
+	}
+	return []*sim.Engine{w.eng}
+}
+
+// now returns the current global virtual time: the serial engine's
+// clock, or the maximum shard clock (only meaningful between windows —
+// i.e. after Run returns).
+func (w *World) now() sim.Time {
+	if s := w.sharded; s != nil {
+		var t sim.Time
+		for _, e := range s.engines {
+			if n := e.Now(); n > t {
+				t = n
+			}
+		}
+		return t
+	}
+	return w.eng.Now()
+}
+
+// schedule runs fn at virtual time at on engine dst, from the engine
+// context src. Same-engine scheduling (and every serial world) goes
+// straight to the event heap; cross-shard scheduling goes through the
+// shard group's mailboxes, which enforce the lookahead contract.
+func (w *World) schedule(src, dst *sim.Engine, at sim.Time, fn func()) {
+	if src == dst {
+		src.At(at, fn)
+		return
+	}
+	w.sharded.group.Inject(src, dst, at, fn)
+}
+
+// scheduleRun is schedule for closure-free Runner payloads.
+func (w *World) scheduleRun(src, dst *sim.Engine, at sim.Time, r sim.Runner) {
+	if src == dst {
+		src.AtRun(at, r)
+		return
+	}
+	w.sharded.group.InjectRun(src, dst, at, r)
+}
 
 // Placement returns the rank-to-hardware mapping.
 func (w *World) Placement() *cluster.Placement { return w.place }
@@ -242,13 +333,29 @@ func (w *World) Config() Config { return w.cfg }
 func (w *World) Validator() *Validator { return w.validator }
 
 // PoolOutstanding returns the number of message-path buffers handed out
-// by the world's buffer pool and not yet returned. Zero once the world
-// has quiesced; anything else is a leak on an error/early-return path.
-func (w *World) PoolOutstanding() int64 { return w.pool.Outstanding() }
+// by the world's buffer pool(s) and not yet returned. Zero once the
+// world has quiesced; anything else is a leak on an error/early-return
+// path.
+func (w *World) PoolOutstanding() int64 {
+	if s := w.sharded; s != nil {
+		var n int64
+		for i := range s.pools {
+			n += s.pools[i].Outstanding()
+		}
+		return n
+	}
+	return w.pool.Outstanding()
+}
 
 // SetTracer installs an operation tracer; pass nil to disable. Install
-// before Launch.
-func (w *World) SetTracer(t *trace.Tracer) { w.tracer = t }
+// before Launch. The tracer records from every rank into one stream, so
+// it is incompatible with sharded execution.
+func (w *World) SetTracer(t *trace.Tracer) {
+	if w.sharded != nil && t.Enabled() {
+		panic("mpi: tracing is not supported under sharded execution (set Config.NoShardedSim)")
+	}
+	w.tracer = t
+}
 
 // Tracer returns the installed tracer (possibly nil).
 func (w *World) Tracer() *trace.Tracer { return w.tracer }
@@ -262,6 +369,10 @@ func (w *World) RankByID(i int) *Rank { return w.ranks[i] }
 // singletons that live in the simulated job's single address space,
 // such as the overload rebalancer.
 func (w *World) SharedState(key string, create func() interface{}) interface{} {
+	if s := w.sharded; s != nil {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+	}
 	if w.shared == nil {
 		w.shared = make(map[string]interface{})
 	}
@@ -294,7 +405,7 @@ func (w *World) reclaimLocksAt(dead int) {
 		return
 	}
 	for _, g := range w.wins {
-		if g.freed {
+		if g.freed.Load() {
 			continue
 		}
 		cr, ok := g.comm.index[dead]
@@ -361,7 +472,7 @@ func (w *World) SetAppRestore(fn func(worldRank int) (bytes, replayed int, ok bo
 func (w *World) Launch(main func(r *Rank)) {
 	for _, r := range w.ranks {
 		r := r
-		r.proc = w.eng.Spawn(fmt.Sprintf("rank%d", r.id), func(p *sim.Proc) {
+		r.proc = r.eng.Spawn(fmt.Sprintf("rank%d", r.id), func(p *sim.Proc) {
 			main(r)
 		})
 	}
@@ -384,6 +495,12 @@ func (w *World) FailedCount() int { return w.failedCount }
 
 // Run executes the simulation to completion.
 func (w *World) Run() error {
+	if s := w.sharded; s != nil {
+		err := s.group.Run()
+		worldEvents.Add(s.group.EventsExecuted())
+		worldInlined.Add(s.group.InlinedAdvances())
+		return err
+	}
 	err := w.eng.Run()
 	worldEvents.Add(w.eng.EventsExecuted())
 	worldInlined.Add(w.eng.InlinedAdvances())
@@ -414,6 +531,10 @@ type segment struct {
 }
 
 func (w *World) newSegment(n int) *segment {
+	if s := w.sharded; s != nil {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+	}
 	w.segSeq++
 	return &segment{id: w.segSeq, data: make([]byte, n)}
 }
@@ -460,6 +581,19 @@ type Rank struct {
 	w    *World
 	id   int
 	proc *sim.Proc
+
+	// eng/pool/memo are the rank's simulation engine, buffer pool and
+	// cost-model memo. Serial worlds alias the world-global instances;
+	// sharded worlds point at the rank's node shard, which is what keeps
+	// pooling and memoization lock-free with shards running in parallel.
+	eng  *sim.Engine
+	pool *bufPool
+	memo *netmodel.Memo
+
+	// opFree recycles rmaOp headers issued by this rank (acks always land
+	// back at the origin, so the freelist never crosses ranks). See
+	// getOp/putOp.
+	opFree []*rmaOp
 
 	engine  rankEngine
 	mailbox mailbox
@@ -525,6 +659,16 @@ type RankStats struct {
 
 func newRank(w *World, id int) *Rank {
 	r := &Rank{w: w, id: id}
+	if s := w.sharded; s != nil {
+		shard := s.shardOf[id]
+		r.eng = s.engines[shard]
+		r.pool = &s.pools[shard]
+		r.memo = s.memos[shard]
+	} else {
+		r.eng = w.eng
+		r.pool = &w.pool
+		r.memo = w.memo
+	}
 	r.engine.init(r)
 	return r
 }
@@ -542,7 +686,11 @@ func (r *Rank) Size() int { return r.w.cfg.N }
 func (r *Rank) CommWorld() *Comm { return &Comm{g: r.w.commWorld, me: r.id, r: r} }
 
 // Now implements Env.
-func (r *Rank) Now() sim.Time { return r.w.eng.Now() }
+func (r *Rank) Now() sim.Time { return r.eng.Now() }
+
+// Engine returns the simulation engine this rank runs on: the world
+// engine in serial mode, the rank's node shard in sharded mode.
+func (r *Rank) Engine() *sim.Engine { return r.eng }
 
 // Proc returns the simulation process of this rank; harnesses use it for
 // low-level waiting.
@@ -622,27 +770,29 @@ func (r *Rank) localityTo(dest int) netmodel.Locality {
 
 // transferTo returns the wire time for n bytes from r to world rank dest.
 func (r *Rank) transferTo(dest, n int) sim.Duration {
-	return r.w.memo.TransferLoc(r.localityTo(dest), n)
+	return r.memo.TransferLoc(r.localityTo(dest), n)
 }
 
 // getOp fetches a zeroed rmaOp, reusing a recycled header when one is
-// available.
-func (w *World) getOp() *rmaOp {
-	if n := len(w.opFree); n > 0 {
-		o := w.opFree[n-1]
-		w.opFree[n-1] = nil
-		w.opFree = w.opFree[:n-1]
+// available. The freelist is per-rank: every op returns to its origin
+// (ackDelivered runs there), so recycling needs no locking even with
+// shards issuing in parallel.
+func (r *Rank) getOp() *rmaOp {
+	if n := len(r.opFree); n > 0 {
+		o := r.opFree[n-1]
+		r.opFree[n-1] = nil
+		r.opFree = r.opFree[:n-1]
 		return o
 	}
 	return &rmaOp{}
 }
 
-// putOp returns an op header to the freelist once nothing can reference
-// it again. No-op under a fault plan (see opRecycle).
-func (w *World) putOp(o *rmaOp) {
-	if !w.opRecycle {
+// putOp returns an op header to the issuing rank's freelist once nothing
+// can reference it again. No-op under a fault plan (see opRecycle).
+func (r *Rank) putOp(o *rmaOp) {
+	if !r.w.opRecycle {
 		return
 	}
 	*o = rmaOp{}
-	w.opFree = append(w.opFree, o)
+	r.opFree = append(r.opFree, o)
 }

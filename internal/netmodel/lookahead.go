@@ -1,0 +1,37 @@
+package netmodel
+
+import "repro/internal/sim"
+
+// Lookahead returns the conservative parallel-simulation lookahead for
+// this platform: a lower bound on how far in the future any cross-node
+// interaction scheduled "now" can take effect. It is the minimum over
+// every off-node delivery path — wire transfer and software active
+// message, contiguous or packed — evaluated at zero payload bytes.
+// Both cost families are monotone non-decreasing in the byte count (all
+// per-byte coefficients are validated >= 0), so the zero-byte cost is
+// the true minimum.
+//
+// A sharded simulation that only ever schedules cross-shard events at
+// least Lookahead into the future may execute shards independently
+// inside a window of that width without reordering anything
+// observable; see sim.ShardGroup.
+func (p *Params) Lookahead() sim.Duration {
+	la := p.Transfer(false, false, 0)
+	if am := p.AMCost(0, true); am < la {
+		la = am
+	}
+	if am := p.AMCost(0, false); am < la {
+		la = am
+	}
+	return la
+}
+
+// Lookahead is Params.Lookahead memoized on the world's Memo, so the
+// per-window horizon computation never re-derives it.
+func (m *Memo) Lookahead() sim.Duration {
+	if !m.laOK {
+		m.la = m.p.Lookahead()
+		m.laOK = true
+	}
+	return m.la
+}

@@ -1,0 +1,43 @@
+package netmodel
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestLookaheadIsCrossNodeMinimum is the property behind the sharded
+// simulator's safety window: no preset can deliver a cross-node effect
+// earlier than its computed lookahead, on any path — wire transfer,
+// contiguous active message, or the noncontiguous datatype-pack path —
+// at any payload size.
+func TestLookaheadIsCrossNodeMinimum(t *testing.T) {
+	sizes := []int{0, 1, 7, 8, 16, 64, 512, 4096, 65536, 1 << 20}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		sizes = append(sizes, rng.Intn(1<<22))
+	}
+	for name, p := range Presets() {
+		la := p.Lookahead()
+		if la <= 0 {
+			t.Fatalf("%s: lookahead %v is not positive", name, la)
+		}
+		for _, n := range sizes {
+			if d := p.Transfer(false, false, n); d < la {
+				t.Errorf("%s: inter-node transfer of %d bytes (%v) beats lookahead %v", name, n, d, la)
+			}
+			if d := p.AMCost(n, true); d < la {
+				t.Errorf("%s: contiguous AM of %d bytes (%v) beats lookahead %v", name, n, d, la)
+			}
+			if d := p.AMCost(n, false); d < la {
+				t.Errorf("%s: packed AM of %d bytes (%v) beats lookahead %v", name, n, d, la)
+			}
+		}
+		m := NewMemo(p)
+		if got := m.Lookahead(); got != la {
+			t.Errorf("%s: memoized lookahead %v != %v", name, got, la)
+		}
+		if got := m.Lookahead(); got != la { // cached path
+			t.Errorf("%s: second memoized lookahead %v != %v", name, got, la)
+		}
+	}
+}

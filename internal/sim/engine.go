@@ -14,6 +14,7 @@ package sim
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 	"strings"
@@ -262,7 +263,25 @@ type Engine struct {
 
 	panicked bool
 	panicVal interface{}
+
+	// Sharded execution (see ShardGroup). limit is the exclusive upper
+	// bound of the current safe window: runWindow and a driving process
+	// stop before executing any event at limit or beyond. limited gates
+	// the per-iteration window check out of the serial hot loops; shard
+	// is this engine's index within its group; bgDiscard is set by the
+	// coordinator once no process anywhere in the group is alive, so
+	// background housekeeping stops exactly as in a serial run; wdErr
+	// records a watchdog trip inside runWindow for the coordinator.
+	limit     Time
+	limited   bool
+	shard     int
+	bgDiscard bool
+	wdErr     *WatchdogError
 }
+
+// timeMax is the largest representable Time; a serial engine's window
+// limit, meaning "no limit".
+const timeMax = Time(math.MaxInt64)
 
 // New returns an Engine whose random source is seeded with seed, so that
 // any randomized model decisions are reproducible.
@@ -275,6 +294,7 @@ func New(seed int64) *Engine {
 	return &Engine{
 		yield: make(chan struct{}, 1),
 		rng:   rand.New(rand.NewSource(seed)),
+		limit: timeMax,
 	}
 }
 
@@ -458,6 +478,11 @@ func (e *Engine) DisableFastPaths() { e.fastOff = true }
 // between events) bit-identical to the slow path.
 func (e *Engine) advanceInlineOK(t Time) bool {
 	if e.fastOff || e.maxEvents > 0 || e.maxTime > 0 || e.stallEvents > 0 {
+		return false
+	}
+	if t >= e.limit {
+		// The advance would cross the current safe window: the process
+		// must park so the window barrier sees a quiescent shard.
 		return false
 	}
 	return e.nowq.len() == 0 && (e.events.len() == 0 || e.events.minTime() > t)
@@ -733,5 +758,90 @@ func (e *Engine) Run() error {
 func (e *Engine) MustRun() {
 	if err := e.Run(); err != nil {
 		panic(err)
+	}
+}
+
+// peekTime returns the time of the next pending event without popping
+// it; ok is false when nothing is pending. This is the per-shard
+// horizon the window coordinator reads between windows.
+func (e *Engine) peekTime() (Time, bool) {
+	switch {
+	case e.nowq.len() > 0 && e.events.len() > 0:
+		if h := e.events.minTime(); h < e.nowq.headKey().at {
+			return h, true
+		}
+		return e.nowq.headKey().at, true
+	case e.nowq.len() > 0:
+		return e.nowq.headKey().at, true
+	case e.events.len() > 0:
+		return e.events.minTime(), true
+	}
+	return 0, false
+}
+
+// nextDesc describes the next pending event for watchdog reports.
+func (e *Engine) nextDesc() string {
+	t, ok := e.peekTime()
+	if !ok {
+		return "idle (no pending events)"
+	}
+	// Identify the event only when it is the heap minimum; a now-queue
+	// head is always a same-time follow-on, where the time alone tells
+	// the story.
+	if e.events.len() > 0 && e.events.k[0].at == t {
+		switch v := e.events.v[0]; v.kind {
+		case evResume:
+			return fmt.Sprintf("next event at %v (resume %s)", t, v.p.name)
+		case evStart:
+			return fmt.Sprintf("next event at %v (start %s)", t, v.p.name)
+		}
+	}
+	return fmt.Sprintf("next event at %v", t)
+}
+
+// injectEvent pushes a cross-shard event straight onto the heap under a
+// sequence number reserved on the sending shard's engine. Only the
+// window coordinator calls it, between windows, when every shard is
+// quiescent.
+func (e *Engine) injectEvent(at Time, seq uint64, fn func(), r Runner) {
+	kind := evFn
+	if r != nil {
+		kind = evRun
+	}
+	e.events.push(event{at: at, seq: seq, fn: fn, run: r, kind: kind})
+}
+
+// runWindow executes events strictly before e.limit, exactly as Run
+// would, and returns when the next event is at or past the limit (or
+// nothing is pending). Deadlock and event-budget detection move to the
+// group coordinator, which sees all shards; per-engine stall and
+// virtual-time watchdogs are still honored here and reported through
+// e.wdErr.
+func (e *Engine) runWindow() {
+	for {
+		t, ok := e.peekTime()
+		if !ok || t >= e.limit {
+			return
+		}
+		ev, _ := e.nextEvent()
+		if ev.bg && (e.live <= 0 || e.bgDiscard) {
+			continue
+		}
+		if p := e.execOne(ev); p != nil {
+			e.transfer(p)
+		}
+		if e.maxTime > 0 && e.now > e.maxTime {
+			e.wdErr = &WatchdogError{Time: e.now, Events: e.executed,
+				Limit: fmt.Sprintf("virtual-time limit %v", e.maxTime), Stuck: e.stuckProcs(),
+				Diagnostics: e.collectDiagnostics()}
+			return
+		}
+		if e.stallEvents > 0 && e.executed-e.lastAdvanceExec >= e.stallEvents {
+			e.wdErr = &WatchdogError{Time: e.now, Events: e.executed,
+				Limit: fmt.Sprintf("stalled: %d events with no time advance since %v",
+					e.stallEvents, e.lastAdvance),
+				Stuck: e.stuckProcs(), Diagnostics: e.collectDiagnostics()}
+			return
+		}
 	}
 }

@@ -112,6 +112,16 @@ func (p *Proc) park(reason string) {
 func (p *Proc) drive() {
 	e := p.eng
 	for {
+		if e.limited {
+			// Sharded execution: stop at the window boundary and hand
+			// back to runWindow, exactly like the empty-queue case —
+			// the window barrier must observe a quiescent shard.
+			if t, ok := e.peekTime(); !ok || t >= e.limit {
+				e.yield <- struct{}{}
+				<-p.resume
+				return
+			}
+		}
 		ev, ok := e.nextEvent()
 		if !ok {
 			// Nothing can ever wake us: hand back to Run, which

@@ -1,0 +1,322 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+)
+
+// crossEvent is one cross-shard injection waiting in a mailbox: an
+// event key reserved on the sending engine plus its payload. Mailboxes
+// drain into the destination heap at window barriers, so the (at, seq)
+// key — seq banded by sending shard — totally orders injections against
+// each other and against the destination's own events, independent of
+// worker count or wall-clock interleaving.
+type crossEvent struct {
+	at  Time
+	seq uint64
+	fn  func()
+	run Runner
+}
+
+// ShardGroup executes a set of engines (shards) in parallel under
+// conservative safe windows. Each round the coordinator computes the
+// global horizon h (the minimum pending-event time across shards) and
+// releases every shard to execute events in [h, h+window) concurrently;
+// the window width is the model's lookahead, a lower bound on how far
+// in the future any cross-shard interaction can land. Cross-shard
+// scheduling goes through per-(src,dst) single-producer mailboxes
+// (Inject/InjectRun) that drain at the barrier, so shards share no
+// mutable state while running. The executed order is a deterministic
+// function of the event keys alone: runs are bit-identical for any
+// worker count.
+type ShardGroup struct {
+	engines []*Engine
+	window  Duration
+	nw      int // worker goroutines
+
+	mail [][][]crossEvent // [src][dst]
+
+	budget  int64 // total executed events across shards; checked at barriers
+	maxTime Time  // horizon bound; checked at barriers
+
+	start  []chan Time // per-worker window release, carrying the limit
+	done   chan int    // worker index completions
+	panics []interface{}
+
+	horizon Time
+}
+
+// NewShardGroup wires engines into a group executed by workers
+// goroutines (clamped to the shard count; at least 1). Each engine's
+// sequence counter is rebased into its own 16-bit band so event keys
+// stay unique across shards; engines must be freshly created and not
+// yet run.
+func NewShardGroup(engines []*Engine, window Duration, workers int) *ShardGroup {
+	if len(engines) == 0 {
+		panic("sim: NewShardGroup with no engines")
+	}
+	if window <= 0 {
+		panic(fmt.Sprintf("sim: NewShardGroup window %v must be positive", window))
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(engines) {
+		workers = len(engines)
+	}
+	g := &ShardGroup{
+		engines: engines,
+		window:  window,
+		nw:      workers,
+		mail:    make([][][]crossEvent, len(engines)),
+		done:    make(chan int),
+		panics:  make([]interface{}, len(engines)),
+	}
+	for i, e := range engines {
+		if e.executed != 0 || e.seq != 0 {
+			panic("sim: NewShardGroup engine already used")
+		}
+		e.shard = i
+		e.limited = true
+		e.seq = uint64(i) << 48
+		g.mail[i] = make([][]crossEvent, len(engines))
+	}
+	g.start = make([]chan Time, workers)
+	for w := 0; w < workers; w++ {
+		g.start[w] = make(chan Time)
+		go g.worker(w)
+	}
+	return g
+}
+
+// Window returns the safe-window width (the lookahead bound).
+func (g *ShardGroup) Window() Duration { return g.window }
+
+// Engines returns the group's engines in shard order.
+func (g *ShardGroup) Engines() []*Engine { return g.engines }
+
+// SetEventBudget arms a total-events watchdog checked at every window
+// barrier (the sharded analogue of Engine.SetWatchdog's event limit;
+// granularity is one window rather than one event). Zero disables.
+func (g *ShardGroup) SetEventBudget(n int64) { g.budget = n }
+
+// SetMaxTime arms a virtual-time watchdog on the global horizon,
+// checked at every window barrier. Zero disables.
+func (g *ShardGroup) SetMaxTime(t Time) { g.maxTime = t }
+
+// EventsExecuted sums executed events across shards. Only meaningful
+// from outside a window (between Run rounds or after Run returns).
+func (g *ShardGroup) EventsExecuted() int64 {
+	var n int64
+	for _, e := range g.engines {
+		n += e.executed
+	}
+	return n
+}
+
+// InlinedAdvances sums inline-completed advances across shards.
+func (g *ShardGroup) InlinedAdvances() int64 {
+	var n int64
+	for _, e := range g.engines {
+		n += e.inlined
+	}
+	return n
+}
+
+// Horizon returns the global horizon of the most recent window.
+func (g *ShardGroup) Horizon() Time { return g.horizon }
+
+// Inject schedules fn at time at on dst from src's engine context. The
+// event key is reserved on src, so injections from one shard arrive at
+// dst in the order they were issued. at must lie at least one window
+// into src's future — the conservative lookahead contract; violating it
+// means the cost model produced a cross-shard interaction faster than
+// netmodel's minimum latency, which is a bug worth dying loudly for.
+func (g *ShardGroup) Inject(src, dst *Engine, at Time, fn func()) {
+	g.inject(src, dst, at, fn, nil)
+}
+
+// InjectRun is Inject for closure-free Runner payloads.
+func (g *ShardGroup) InjectRun(src, dst *Engine, at Time, r Runner) {
+	g.inject(src, dst, at, nil, r)
+}
+
+func (g *ShardGroup) inject(src, dst *Engine, at Time, fn func(), r Runner) {
+	if src == dst {
+		if r != nil {
+			src.AtRun(at, r)
+		} else {
+			src.At(at, fn)
+		}
+		return
+	}
+	if min := src.now.Add(g.window); at < min {
+		panic(fmt.Sprintf(
+			"sim: cross-shard injection at %v from shard %d (now %v) violates lookahead %v (earliest legal %v)",
+			at, src.shard, src.now, g.window, min))
+	}
+	seq := src.ReserveSeq()
+	g.mail[src.shard][dst.shard] = append(g.mail[src.shard][dst.shard],
+		crossEvent{at: at, seq: seq, fn: fn, run: r})
+}
+
+// worker executes windows for the shards it owns (strided by worker
+// index, ascending), reporting each round through g.done. Process
+// panics re-raised by transfer are caught here and re-raised by the
+// coordinator, lowest shard first, so a multi-shard failure is
+// reported deterministically.
+func (g *ShardGroup) worker(w int) {
+	for limit := range g.start[w] {
+		for i := w; i < len(g.engines); i += g.nw {
+			e := g.engines[i]
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						g.panics[i] = r
+					}
+				}()
+				e.limit = limit
+				e.runWindow()
+			}()
+		}
+		g.done <- w
+	}
+}
+
+// drain moves every mailbox entry into its destination heap. Runs only
+// at barriers, when all shards are quiescent.
+func (g *ShardGroup) drain() {
+	for src := range g.mail {
+		for dst, box := range g.mail[src] {
+			if len(box) == 0 {
+				continue
+			}
+			e := g.engines[dst]
+			for i := range box {
+				ev := &box[i]
+				e.injectEvent(ev.at, ev.seq, ev.fn, ev.run)
+				box[i] = crossEvent{}
+			}
+			g.mail[src][dst] = box[:0]
+		}
+	}
+}
+
+func (g *ShardGroup) totalLive() int {
+	n := 0
+	for _, e := range g.engines {
+		n += e.live
+	}
+	return n
+}
+
+// horizonDiagnostics reports each shard's clock and next pending event
+// plus which shard is holding the global horizon back — the sharded
+// extension of the frozen-clock report.
+func (g *ShardGroup) horizonDiagnostics() []string {
+	out := []string{"per-shard horizons:"}
+	blocking, blockT := -1, timeMax
+	for i, e := range g.engines {
+		line := fmt.Sprintf("  shard %d: clock %v, %s", i, e.now, e.nextDesc())
+		if t, ok := e.peekTime(); ok && t < blockT {
+			blocking, blockT = i, t
+		}
+		out = append(out, line)
+	}
+	if blocking >= 0 {
+		e := g.engines[blocking]
+		out = append(out, fmt.Sprintf("blocking shard %d: %s", blocking, e.nextDesc()))
+	}
+	return out
+}
+
+// mergedStuck concatenates stuck-process reports across shards.
+func (g *ShardGroup) mergedStuck() []string {
+	var out []string
+	for _, e := range g.engines {
+		out = append(out, e.stuckProcs()...)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (g *ShardGroup) mergedDiagnostics() []string {
+	var out []string
+	for _, e := range g.engines {
+		out = append(out, e.collectDiagnostics()...)
+	}
+	return out
+}
+
+// Run executes windows until every shard drains. It returns a
+// *DeadlockError when processes remain parked with no pending events
+// anywhere, and a *WatchdogError — always carrying the per-shard
+// horizon report — when a budget, time, or per-engine stall limit
+// trips.
+func (g *ShardGroup) Run() error {
+	defer func() {
+		for _, ch := range g.start {
+			close(ch)
+		}
+	}()
+	bgDiscarded := false
+	for {
+		g.drain()
+		h, ok := Time(0), false
+		for _, e := range g.engines {
+			if t, tok := e.peekTime(); tok && (!ok || t < h) {
+				h, ok = t, true
+			}
+		}
+		if !ok {
+			if g.totalLive() > 0 {
+				return &DeadlockError{Time: g.horizon, Stuck: g.mergedStuck(),
+					Diagnostics: g.mergedDiagnostics()}
+			}
+			return nil
+		}
+		g.horizon = h
+		if g.maxTime > 0 && h > g.maxTime {
+			return &WatchdogError{Time: h, Events: g.EventsExecuted(),
+				Limit:       fmt.Sprintf("virtual-time limit %v", g.maxTime),
+				Stuck:       g.mergedStuck(),
+				Diagnostics: append(g.horizonDiagnostics(), g.mergedDiagnostics()...)}
+		}
+		limit := h.Add(g.window)
+		for w := 0; w < g.nw; w++ {
+			g.start[w] <- limit
+		}
+		for w := 0; w < g.nw; w++ {
+			<-g.done
+		}
+		for i, p := range g.panics {
+			if p != nil {
+				panic(fmt.Sprintf("sim: shard %d: %v", i, p))
+			}
+		}
+		for _, e := range g.engines {
+			if e.wdErr != nil {
+				err := e.wdErr
+				g.drain() // surface in-flight injections in the horizon report
+				err.Diagnostics = append(g.horizonDiagnostics(), err.Diagnostics...)
+				return err
+			}
+		}
+		if g.budget > 0 && g.EventsExecuted() >= g.budget {
+			g.drain() // surface in-flight injections in the horizon report
+			return &WatchdogError{Time: g.horizon, Events: g.EventsExecuted(),
+				Limit:       fmt.Sprintf("event limit %d (checked at window barriers)", g.budget),
+				Stuck:       g.mergedStuck(),
+				Diagnostics: append(g.horizonDiagnostics(), g.mergedDiagnostics()...)}
+		}
+		if !bgDiscarded && g.totalLive() == 0 {
+			// Every process in the group has terminated: from here on,
+			// background housekeeping is discarded without running,
+			// matching the serial engine's end-of-run rule.
+			bgDiscarded = true
+			for _, e := range g.engines {
+				e.bgDiscard = true
+			}
+		}
+	}
+}

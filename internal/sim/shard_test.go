@@ -1,0 +1,166 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// runShardScenario runs a fixed 4-shard workload — processes advancing
+// by per-engine random draws and injecting callbacks into each other's
+// shards — and returns a transcript of everything each shard observed.
+func runShardScenario(t *testing.T, workers int) ([]string, int64) {
+	t.Helper()
+	const nsh = 4
+	engines := make([]*Engine, nsh)
+	for i := range engines {
+		engines[i] = New(int64(100 + i))
+	}
+	g := NewShardGroup(engines, Microseconds(1), workers)
+	logs := make([][]string, nsh)
+	for i := range engines {
+		i, e := i, engines[i]
+		e.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
+			for k := 0; k < 60; k++ {
+				p.Advance(Duration(e.Rand().Int63n(int64(Microseconds(3)))) + 1)
+				dst := (i + 1 + k) % nsh
+				at := e.Now().Add(Microseconds(1) + Duration(k))
+				src, val := i, k
+				g.Inject(e, engines[dst], at, func() {
+					logs[dst] = append(logs[dst],
+						fmt.Sprintf("shard%d t=%v from=%d k=%d", dst, engines[dst].Now(), src, val))
+				})
+			}
+		})
+	}
+	if err := g.Run(); err != nil {
+		t.Fatalf("workers=%d: %v", workers, err)
+	}
+	var all []string
+	for _, l := range logs {
+		all = append(all, l...)
+	}
+	return all, g.EventsExecuted()
+}
+
+// TestShardGroupWorkerCountIdentical is the sharded analogue of the
+// parallel-sweep determinism test: the observable execution — every
+// cross-shard delivery, in order, with its virtual timestamp — must be
+// identical for any worker count.
+func TestShardGroupWorkerCountIdentical(t *testing.T) {
+	base, baseEvents := runShardScenario(t, 1)
+	if len(base) == 0 {
+		t.Fatal("scenario produced no cross-shard deliveries")
+	}
+	for _, w := range []int{2, 3, 4, 8} {
+		got, gotEvents := runShardScenario(t, w)
+		if strings.Join(got, "\n") != strings.Join(base, "\n") {
+			t.Fatalf("workers=%d transcript differs from workers=1", w)
+		}
+		if gotEvents != baseEvents {
+			t.Fatalf("workers=%d executed %d events, workers=1 executed %d", w, gotEvents, baseEvents)
+		}
+	}
+}
+
+// TestShardGroupLookaheadViolationPanics: injecting closer than the
+// window is a cost-model bug and must die loudly.
+func TestShardGroupLookaheadViolationPanics(t *testing.T) {
+	engines := []*Engine{New(1), New(2)}
+	g := NewShardGroup(engines, Microseconds(1), 1)
+	engines[0].Spawn("violator", func(p *Proc) {
+		g.Inject(engines[0], engines[1], engines[0].Now().Add(Microseconds(1)-1), func() {})
+	})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("sub-lookahead injection did not panic")
+		}
+		if !strings.Contains(fmt.Sprint(r), "violates lookahead") {
+			t.Fatalf("unexpected panic: %v", r)
+		}
+	}()
+	g.Run()
+	t.Fatal("unreachable: Run returned")
+}
+
+// TestShardGroupBudgetReportsHorizons: the barrier-checked event budget
+// trips on a cross-shard ping-pong that never drains, and the error
+// carries the per-shard horizon report (the sharded frozen-clock
+// diagnostic).
+func TestShardGroupBudgetReportsHorizons(t *testing.T) {
+	engines := []*Engine{New(1), New(2), New(3)}
+	g := NewShardGroup(engines, Microseconds(1), 2)
+	g.SetEventBudget(500)
+	var ping func(dst int)
+	ping = func(dst int) {
+		e := engines[dst]
+		next := (dst + 1) % len(engines)
+		g.Inject(e, engines[next], e.Now().Add(Microseconds(1)), func() { ping(next) })
+	}
+	engines[0].Spawn("kickoff", func(p *Proc) { ping(0) })
+	// A parked process keeps the group formally alive so the ping-pong
+	// cannot end in a normal drain.
+	var never Completion
+	engines[1].Spawn("waiter", func(p *Proc) { never.Await(p, "waiting forever") })
+	err := g.Run()
+	we, ok := err.(*WatchdogError)
+	if !ok {
+		t.Fatalf("expected WatchdogError, got %v", err)
+	}
+	if !strings.Contains(we.Error(), "per-shard horizons:") {
+		t.Fatalf("budget error lacks per-shard horizon report:\n%v", we)
+	}
+	if !strings.Contains(we.Error(), "blocking shard") {
+		t.Fatalf("budget error lacks blocking-shard line:\n%v", we)
+	}
+}
+
+// TestShardGroupStallWatchdogEnriched: a per-engine stall (frozen
+// clock inside one shard) is reported with every shard's horizon and
+// the blocking shard's next event, not just a single timestamp.
+func TestShardGroupStallWatchdogEnriched(t *testing.T) {
+	engines := []*Engine{New(1), New(2)}
+	g := NewShardGroup(engines, Microseconds(1), 2)
+	engines[0].SetStallWatchdog(100)
+	var spin func()
+	spin = func() { engines[0].At(engines[0].Now(), spin) }
+	engines[0].Spawn("spinner", func(p *Proc) { spin() })
+	engines[1].Spawn("healthy", func(p *Proc) {
+		for i := 0; i < 10; i++ {
+			p.Advance(Microseconds(5))
+		}
+	})
+	err := g.Run()
+	we, ok := err.(*WatchdogError)
+	if !ok {
+		t.Fatalf("expected WatchdogError, got %v", err)
+	}
+	msg := we.Error()
+	if !strings.Contains(msg, "stalled") {
+		t.Fatalf("expected stall trip, got: %v", msg)
+	}
+	for _, want := range []string{"per-shard horizons:", "shard 0:", "shard 1:", "blocking shard"} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("stall report missing %q:\n%v", want, msg)
+		}
+	}
+}
+
+// TestShardGroupDeadlockMerged: a cross-shard deadlock merges every
+// shard's stuck processes into one report.
+func TestShardGroupDeadlockMerged(t *testing.T) {
+	engines := []*Engine{New(1), New(2)}
+	g := NewShardGroup(engines, Microseconds(1), 2)
+	var c0, c1 Completion
+	engines[0].Spawn("a", func(p *Proc) { c0.Await(p, "waiting on b") })
+	engines[1].Spawn("b", func(p *Proc) { c1.Await(p, "waiting on a") })
+	err := g.Run()
+	de, ok := err.(*DeadlockError)
+	if !ok {
+		t.Fatalf("expected DeadlockError, got %v", err)
+	}
+	if len(de.Stuck) != 2 {
+		t.Fatalf("expected 2 stuck processes, got %v", de.Stuck)
+	}
+}
