@@ -44,12 +44,26 @@ func main() {
 		benchID    = flag.String("bench", "", "experiment id to benchmark serial vs -parallel")
 		benchOut   = flag.String("benchout", "", "write the -bench JSON baseline to this file (default stdout)")
 		allocGate  = flag.String("allocgate", "", "with -bench: fail if allocs/event exceeds this committed baseline JSON by more than 0.05")
+		shardGate  = flag.String("shardgate", "", "with -bench -shards: fail if the sharded-4/serial events/sec ratio drops below 1.0 or regresses versus this committed baseline JSON (15% slack)")
+		maxProcs   = flag.Int("gomaxprocs", 0, "set runtime.GOMAXPROCS for the run (0 = inherit; the -bench sharded sweep otherwise runs each point at GOMAXPROCS = its shard count)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write an allocation profile to this file")
 	)
 	flag.Parse()
 	if *quick {
 		*scale = 0.12
+	}
+	if *maxProcs > 0 {
+		runtime.GOMAXPROCS(*maxProcs)
+	}
+	if lim := min(runtime.GOMAXPROCS(0), runtime.NumCPU()); *shards > lim {
+		// Not an error: the runs are still bit-identical (the engine
+		// clamps its workers to what the hardware can schedule and runs
+		// the rest inline), but their wall-clock must never be mistaken
+		// for an N-way parallel speedup.
+		fmt.Fprintf(os.Stderr,
+			"casperbench: warning: -shards %d exceeds the %d schedulable CPUs (GOMAXPROCS %d, NumCPU %d) — shard workers beyond that run inline, so events/sec is an overhead measurement, not a speedup\n",
+			*shards, lim, runtime.GOMAXPROCS(0), runtime.NumCPU())
 	}
 	if *chaosSeed > 0 {
 		// -chaosseed only means something to faultchaos: a bare
@@ -101,7 +115,7 @@ func main() {
 		if !ok {
 			fatalf("casperbench: unknown experiment %q (try -list)", *benchID)
 		}
-		if err := runBench(e, opts, *benchOut, *allocGate); err != nil {
+		if err := runBench(e, opts, *benchOut, *allocGate, *shardGate, *maxProcs); err != nil {
 			fatalf("casperbench: %v", err)
 		}
 	case *all:
@@ -157,15 +171,18 @@ type baseline struct {
 	GOOS       string            `json:"goos"`
 	GOARCH     string            `json:"goarch"`
 	GOMAXPROCS int               `json:"gomaxprocs"`
+	NumCPU     int               `json:"num_cpu"` // physical honesty: GOMAXPROCS above this is time-slicing
 	Serial     bench.Measurement `json:"serial"`
 	Parallel   bench.Measurement `json:"parallel"`
 
-	// Sharded sweeps the same experiment over shard worker counts on
-	// the sharded per-node engine (-shards; Parallel pinned to 1 so
-	// sweep workers don't pollute the timing). Present only when the
-	// -bench invocation passed -shards > 0. On a single-CPU host
-	// (gomaxprocs 1 above) events/sec cannot exceed the serial
-	// engine's — the block still records the honest numbers.
+	// Sharded sweeps the same experiment over shard counts (-shards;
+	// Parallel pinned to 1 so sweep workers don't pollute the timing),
+	// each point at GOMAXPROCS equal to its shard count unless
+	// -gomaxprocs pins it. Present only when the -bench invocation
+	// passed -shards > 0. Each entry records the gomaxprocs it actually
+	// ran under — a point with gomaxprocs < shards (or num_cpu <
+	// shards) is time-sliced and its events/sec is an overhead
+	// measurement, not a speedup.
 	Sharded []shardPoint `json:"sharded,omitempty"`
 
 	// SpeedupExpected is false when the run cannot exhibit a parallel
@@ -180,9 +197,11 @@ type baseline struct {
 // shardPoint is one entry of the baseline's sharded sweep.
 type shardPoint struct {
 	Shards          int     `json:"shards"`
+	GOMAXPROCS      int     `json:"gomaxprocs"`
 	WallSeconds     float64 `json:"wall_seconds"`
 	Events          int64   `json:"events"`
 	EventsPerSec    float64 `json:"events_per_sec"`
+	Rounds          int64   `json:"rounds"` // window barriers: the synchronization cost
 	OutputIdentical bool    `json:"output_identical"`
 }
 
@@ -214,7 +233,69 @@ func checkAllocGate(path string, m bench.Measurement) error {
 	return nil
 }
 
-func runBench(e bench.Experiment, o bench.Options, out, gate string) error {
+// shardGateSlack is the fractional wall-clock tolerance of the sharded
+// speedup gate. Unlike the allocgate, both sides of the ratio are
+// wall-clock measurements on a shared CI runner, so the slack must
+// absorb scheduler noise on two runs, not allocator jitter on one;
+// 15% is comfortably above observed run-to-run variance (~5%) while
+// still catching any real regression of the barrier or drain paths,
+// which cost multiples of that when they misbehave.
+const shardGateSlack = 0.15
+
+// checkShardGate is the multi-core speedup gate: the sharded-4 /
+// serial events-per-second ratio of the current run must (a) not drop
+// below 1.0 — sharded execution must beat the serial engine — and (b)
+// not regress versus the same ratio in the committed baseline JSON,
+// both within shardGateSlack. Gating on the ratio rather than absolute
+// events/sec keeps the gate portable across machines: both numbers
+// come from the same process on the same host seconds apart.
+func checkShardGate(path string, b *baseline) error {
+	ratio, point, err := shardRatio(b)
+	if err != nil {
+		return fmt.Errorf("shardgate: current run: %w", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("shardgate: %w", err)
+	}
+	var base baseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("shardgate: parsing %s: %w", path, err)
+	}
+	baseRatio, _, err := shardRatio(&base)
+	if err != nil {
+		return fmt.Errorf("shardgate: %s: %w", path, err)
+	}
+	if floor := 1.0 * (1 - shardGateSlack); ratio < floor {
+		return fmt.Errorf(
+			"shardgate: sharded-4 (gomaxprocs %d) runs at %.2fx the serial engine, below the %.2f floor (serial %.0f ev/s, sharded %.0f ev/s)",
+			point.GOMAXPROCS, ratio, floor, b.Serial.EventsPerSec, point.EventsPerSec)
+	}
+	if floor := baseRatio * (1 - shardGateSlack); ratio < floor {
+		return fmt.Errorf(
+			"shardgate: sharded-4/serial ratio %.2f regressed below committed %.2f - %d%% slack (%s)",
+			ratio, baseRatio, int(shardGateSlack*100), path)
+	}
+	fmt.Fprintf(os.Stderr, "shardgate: ok — sharded-4/serial ratio %.2f (committed %.2f, slack %d%%)\n",
+		ratio, baseRatio, int(shardGateSlack*100))
+	return nil
+}
+
+// shardRatio extracts a baseline's sharded-4 / serial events-per-second
+// ratio.
+func shardRatio(b *baseline) (float64, shardPoint, error) {
+	for _, p := range b.Sharded {
+		if p.Shards == 4 {
+			if b.Serial.EventsPerSec <= 0 || p.EventsPerSec <= 0 {
+				return 0, p, fmt.Errorf("sharded-4 or serial events/sec missing")
+			}
+			return p.EventsPerSec / b.Serial.EventsPerSec, p, nil
+		}
+	}
+	return 0, shardPoint{}, fmt.Errorf("no sharded-4 sweep point (run with -shards 4)")
+}
+
+func runBench(e bench.Experiment, o bench.Options, out, gate, sgate string, pinnedProcs int) error {
 	// Both named measurements run on the serial engine: the allocgate's
 	// 0.05 slack is only meaningful against a single-goroutine run (see
 	// bench.Measurement), and "parallel" measures sweep workers, not
@@ -234,6 +315,7 @@ func runBench(e bench.Experiment, o bench.Options, out, gate string) error {
 		GOOS:            runtime.GOOS,
 		GOARCH:          runtime.GOARCH,
 		GOMAXPROCS:      runtime.GOMAXPROCS(0),
+		NumCPU:          runtime.NumCPU(),
 		Serial:          ms,
 		Parallel:        mp,
 		SpeedupExpected: o.Parallel > 1 && runtime.GOMAXPROCS(0) > 1,
@@ -246,15 +328,32 @@ func runBench(e bench.Experiment, o bench.Options, out, gate string) error {
 		return fmt.Errorf("%s: parallel output differs from serial", e.ID)
 	}
 	if o.Shards > 0 {
+		ambient := runtime.GOMAXPROCS(0)
 		for _, s := range []int{1, 2, 4, 8} {
+			// Each sweep point runs at GOMAXPROCS = its shard count —
+			// the configuration whose events/sec is a real speedup
+			// claim — unless -gomaxprocs pinned the whole run. Capped
+			// at the physical core count: past it, a higher GOMAXPROCS
+			// only adds scheduler noise (idle Ps woken on every
+			// channel op) without any parallelism, skewing the point
+			// against configurations the hardware can actually run.
+			// The entry records the gomaxprocs it really used.
+			if pinnedProcs <= 0 {
+				runtime.GOMAXPROCS(min(s, runtime.NumCPU()))
+			}
 			so := serial
 			so.Shards = s
 			m := bench.Measure(e, so)
+			if pinnedProcs <= 0 {
+				runtime.GOMAXPROCS(ambient)
+			}
 			p := shardPoint{
 				Shards:          s,
+				GOMAXPROCS:      m.GOMAXPROCS,
 				WallSeconds:     m.WallSeconds,
 				Events:          m.Events,
 				EventsPerSec:    m.EventsPerSec,
+				Rounds:          m.ShardRounds,
 				OutputIdentical: m.CSV == ms.CSV,
 			}
 			b.Sharded = append(b.Sharded, p)
@@ -265,6 +364,11 @@ func runBench(e bench.Experiment, o bench.Options, out, gate string) error {
 	}
 	if gate != "" {
 		if err := checkAllocGate(gate, ms); err != nil {
+			return err
+		}
+	}
+	if sgate != "" {
+		if err := checkShardGate(sgate, &b); err != nil {
 			return err
 		}
 	}

@@ -27,10 +27,12 @@ import (
 type Measurement struct {
 	Experiment     string  `json:"experiment"`
 	Parallel       int     `json:"parallel"`
+	GOMAXPROCS     int     `json:"gomaxprocs"` // runtime.GOMAXPROCS during this run
 	WallSeconds    float64 `json:"wall_seconds"`
 	Events         int64   `json:"events"`
 	EventsPerSec   float64 `json:"events_per_sec"`
-	InlinedEvents  int64   `json:"inlined_events"` // Advance calls completed inline (run-to-completion)
+	InlinedEvents  int64   `json:"inlined_events"`         // Advance calls completed inline (run-to-completion)
+	ShardRounds    int64   `json:"shard_rounds,omitempty"` // window barriers (sharded runs only)
 	Mallocs        uint64  `json:"mallocs"`
 	AllocsPerEvent float64 `json:"allocs_per_event"`
 	CSV            string  `json:"-"` // rendered output, for bit-identity checks
@@ -43,6 +45,7 @@ func Measure(e Experiment, o Options) Measurement {
 	runtime.ReadMemStats(&before)
 	ev0 := mpi.TotalEventsExecuted()
 	in0 := mpi.TotalInlinedAdvances()
+	ro0 := mpi.TotalShardRounds()
 	t0 := time.Now()
 	res := e.Run(o)
 	wall := time.Since(t0).Seconds()
@@ -51,9 +54,11 @@ func Measure(e Experiment, o Options) Measurement {
 	m := Measurement{
 		Experiment:    e.ID,
 		Parallel:      o.Parallel,
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
 		WallSeconds:   wall,
 		Events:        events,
 		InlinedEvents: mpi.TotalInlinedAdvances() - in0,
+		ShardRounds:   mpi.TotalShardRounds() - ro0,
 		Mallocs:       after.Mallocs - before.Mallocs,
 		CSV:           res.CSV(),
 	}

@@ -9,19 +9,24 @@ import (
 	"repro/internal/sim"
 )
 
-// shardState is the parallel-execution state of a sharded world: one
-// simulation engine per node (ghosts co-located with the app ranks they
-// serve), run under conservative safe windows by sim.ShardGroup. The
-// window width is half the network model's lookahead — halving is what
-// makes two-hop interactions (a member contribution relayed to an owner
-// shard, then a wake relayed back) legal, since every cross-node cost is
-// at least one full lookahead and therefore at least two windows.
+// shardState is the parallel-execution state of a sharded world:
+// min(cfg.Shards, nodes) simulation engines, each owning a contiguous
+// block of nodes (ghosts co-located with the app ranks they serve),
+// run under conservative safe windows by sim.ShardGroup. One engine
+// per worker keeps the per-barrier cost O(shards) rather than O(nodes)
+// — messages between nodes on the same engine are ordinary heap events
+// with no lookahead constraint, so only genuinely cross-worker traffic
+// pays for mailboxes and window limits. The window width is half the
+// network model's lookahead — halving is what makes two-hop
+// interactions (a member contribution relayed to an owner shard, then
+// a wake relayed back) legal, since every cross-node cost is at least
+// one full lookahead and therefore at least two windows.
 type shardState struct {
 	group   *sim.ShardGroup
 	engines []*sim.Engine
 	pools   []bufPool
 	memos   []*netmodel.Memo
-	shardOf []int // world rank -> shard (node) index
+	shardOf []int // world rank -> shard (engine) index
 	window  sim.Duration
 
 	// mu guards the world-global registries mutated from arbitrary shard
@@ -52,14 +57,20 @@ func shardEligible(cfg Config, place *cluster.Placement) bool {
 	return cfg.Net.Lookahead()/2 > 0
 }
 
-// newShardState builds the per-node engines, pools, and memo caches and
-// wires them into a ShardGroup executed by up to cfg.Shards workers.
+// newShardState builds the shard engines, pools, and memo caches and
+// wires them into a ShardGroup with one worker per engine. Nodes are
+// distributed over the engines in contiguous blocks, so placements with
+// neighbour locality (stencils) keep most traffic engine-local.
 func newShardState(w *World) *shardState {
 	n := w.place.NodesUsed()
+	ne := w.cfg.Shards
+	if ne > n {
+		ne = n
+	}
 	s := &shardState{
-		engines: make([]*sim.Engine, n),
-		pools:   make([]bufPool, n),
-		memos:   make([]*netmodel.Memo, n),
+		engines: make([]*sim.Engine, ne),
+		pools:   make([]bufPool, ne),
+		memos:   make([]*netmodel.Memo, ne),
 		shardOf: make([]int, w.cfg.N),
 		window:  w.cfg.Net.Lookahead() / 2,
 	}
@@ -68,9 +79,9 @@ func newShardState(w *World) *shardState {
 		s.memos[i] = netmodel.NewMemo(w.cfg.Net)
 	}
 	for r := range s.shardOf {
-		s.shardOf[r] = w.place.Node(r)
+		s.shardOf[r] = w.place.Node(r) * ne / n
 	}
-	s.group = sim.NewShardGroup(s.engines, s.window, w.cfg.Shards)
+	s.group = sim.NewShardGroup(s.engines, s.window, ne)
 	return s
 }
 

@@ -30,6 +30,15 @@ var worldInlined atomic.Int64
 // all completed World.Run calls in this process.
 func TotalInlinedAdvances() int64 { return worldInlined.Load() }
 
+// worldShardRounds accumulates shard-group window barriers across all
+// sharded World.Run calls, mirroring worldEvents — the synchronization
+// cost the perf baseline records per sharded sweep point.
+var worldShardRounds atomic.Int64
+
+// TotalShardRounds returns the window barriers executed by all
+// completed sharded World.Run calls in this process.
+func TotalShardRounds() int64 { return worldShardRounds.Load() }
+
 // ProgressMode selects the asynchronous progress baseline configured for
 // every rank of a world. Casper is not a mode: it is a library layered on
 // top of ProgressNone, which is the whole point of the paper.
@@ -274,6 +283,16 @@ func (w *World) ShardCount() int {
 	return len(w.sharded.engines)
 }
 
+// ShardRounds returns how many window barriers the shard group has
+// executed (0 for a serial world) — the synchronization cost of the
+// run, see sim.ShardGroup.Rounds.
+func (w *World) ShardRounds() int64 {
+	if w.sharded == nil {
+		return 0
+	}
+	return w.sharded.group.Rounds()
+}
+
 // allEngines returns every simulation engine of the world: the per-node
 // shard engines, or the single serial engine.
 func (w *World) allEngines() []*sim.Engine {
@@ -499,6 +518,7 @@ func (w *World) Run() error {
 		err := s.group.Run()
 		worldEvents.Add(s.group.EventsExecuted())
 		worldInlined.Add(s.group.InlinedAdvances())
+		worldShardRounds.Add(s.group.Rounds())
 		return err
 	}
 	err := w.eng.Run()

@@ -273,6 +273,7 @@ type Engine struct {
 	// background housekeeping stops exactly as in a serial run; wdErr
 	// records a watchdog trip inside runWindow for the coordinator.
 	limit     Time
+	winCap    int64 // absolute executed-events bound for this window (0 = none)
 	limited   bool
 	shard     int
 	bgDiscard bool
@@ -483,6 +484,11 @@ func (e *Engine) advanceInlineOK(t Time) bool {
 	if t >= e.limit {
 		// The advance would cross the current safe window: the process
 		// must park so the window barrier sees a quiescent shard.
+		return false
+	}
+	if e.winCap > 0 && e.executed >= e.winCap {
+		// Window event cap reached (group budget backstop): park so the
+		// shard returns to the barrier.
 		return false
 	}
 	return e.nowq.len() == 0 && (e.events.len() == 0 || e.events.minTime() > t)
@@ -819,6 +825,12 @@ func (e *Engine) injectEvent(at Time, seq uint64, fn func(), r Runner) {
 // e.wdErr.
 func (e *Engine) runWindow() {
 	for {
+		if e.winCap > 0 && e.executed >= e.winCap {
+			// Group event budget nearly spent: return to the barrier so
+			// the coordinator can trip the watchdog with a full report
+			// instead of letting one shard spin inside a wide window.
+			return
+		}
 		t, ok := e.peekTime()
 		if !ok || t >= e.limit {
 			return

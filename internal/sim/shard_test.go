@@ -2,21 +2,39 @@ package sim
 
 import (
 	"fmt"
+	"math/rand"
+	"runtime"
 	"strings"
 	"testing"
 )
+
+// forceParallel raises GOMAXPROCS to at least n for the duration of a
+// test so worker goroutines really interleave. Returns a restore func
+// for defer. NewShardGroup additionally clamps its spawned workers to
+// the physical core count, which no test can raise — tests that need
+// the multi-worker barrier paths on a small machine re-spawn past the
+// clamp with g.spawnWorkers (safe before the first Run).
+func forceParallel(n int) func() {
+	old := runtime.GOMAXPROCS(0)
+	if old < n {
+		runtime.GOMAXPROCS(n)
+	}
+	return func() { runtime.GOMAXPROCS(old) }
+}
 
 // runShardScenario runs a fixed 4-shard workload — processes advancing
 // by per-engine random draws and injecting callbacks into each other's
 // shards — and returns a transcript of everything each shard observed.
 func runShardScenario(t *testing.T, workers int) ([]string, int64) {
 	t.Helper()
+	defer forceParallel(4)()
 	const nsh = 4
 	engines := make([]*Engine, nsh)
 	for i := range engines {
 		engines[i] = New(int64(100 + i))
 	}
 	g := NewShardGroup(engines, Microseconds(1), workers)
+	g.spawnWorkers(workers - 1)
 	logs := make([][]string, nsh)
 	for i := range engines {
 		i, e := i, engines[i]
@@ -144,6 +162,124 @@ func TestShardGroupStallWatchdogEnriched(t *testing.T) {
 		if !strings.Contains(msg, want) {
 			t.Fatalf("stall report missing %q:\n%v", want, msg)
 		}
+	}
+}
+
+// runSparseScenario is a horizon-skipping workload: shard 0 grinds
+// through thousands of closely spaced local events across a long
+// virtual span, with only an occasional cross-shard injection; shard 1
+// is otherwise idle. With fixed lookahead-wide windows the run costs
+// one barrier per window across the whole span; with adaptive limits
+// it costs a handful of barriers around each injection.
+func runSparseScenario(t *testing.T, fixed bool, workers int) ([]string, int64) {
+	t.Helper()
+	defer forceParallel(4)()
+	engines := []*Engine{New(1), New(2)}
+	g := NewShardGroup(engines, Microseconds(1), workers)
+	g.spawnWorkers(workers - 1)
+	if fixed {
+		g.DisableHorizonSkipping()
+	}
+	var log []string
+	e0 := engines[0]
+	e0.Spawn("busy", func(p *Proc) {
+		for k := 0; k < 2000; k++ {
+			p.Advance(Duration(500)) // 0.5 us: two local events per window width
+			if k%200 == 0 {
+				at := e0.Now().Add(Microseconds(1))
+				k := k
+				g.Inject(e0, engines[1], at, func() {
+					log = append(log, fmt.Sprintf("t=%v k=%d", engines[1].Now(), k))
+				})
+			}
+		}
+	})
+	if err := g.Run(); err != nil {
+		t.Fatalf("fixed=%v workers=%d: %v", fixed, workers, err)
+	}
+	return log, g.Rounds()
+}
+
+// TestShardGroupHorizonSkipping: on the sparse workload, adaptive
+// per-shard limits must cut the barrier count by at least 10x versus
+// fixed lookahead-wide windows, with a byte-identical transcript at
+// every (mode, worker-count) combination.
+func TestShardGroupHorizonSkipping(t *testing.T) {
+	base, fixedRounds := runSparseScenario(t, true, 1)
+	if len(base) != 10 {
+		t.Fatalf("expected 10 cross-shard deliveries, got %d", len(base))
+	}
+	var skipRounds int64
+	for _, w := range []int{1, 2, 4} {
+		for _, fixed := range []bool{true, false} {
+			got, rounds := runSparseScenario(t, fixed, w)
+			if strings.Join(got, "\n") != strings.Join(base, "\n") {
+				t.Fatalf("fixed=%v workers=%d transcript differs from baseline", fixed, w)
+			}
+			if !fixed {
+				skipRounds = rounds
+			}
+		}
+	}
+	if skipRounds*10 > fixedRounds {
+		t.Fatalf("horizon skipping used %d barriers, fixed windows %d: want >= 10x reduction",
+			skipRounds, fixedRounds)
+	}
+}
+
+// TestShardBarrierStress drives the sense-reversing barrier through
+// thousands of windows at randomized shard counts and per-window event
+// loads, at several worker counts per workload. A lost wakeup hangs the
+// test (caught by the go test timeout); nondeterminism in the limit
+// logic shows up as diverging event counts, barrier counts, or final
+// horizons between worker counts. Run under -race in CI, with
+// GOMAXPROCS forced up so the workers really interleave.
+func TestShardBarrierStress(t *testing.T) {
+	defer forceParallel(4)()
+	for seed := int64(1); seed <= 4; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			nsh := 2 + rng.Intn(7)         // 2..8 shards
+			iters := 1600 + rng.Intn(1000) // per-shard injection count
+			run := func(workers int) (events, rounds int64, horizon Time) {
+				engines := make([]*Engine, nsh)
+				for i := range engines {
+					engines[i] = New(seed*100 + int64(i))
+				}
+				g := NewShardGroup(engines, Microseconds(1), workers)
+				g.spawnWorkers(workers - 1)
+				for i := range engines {
+					i, e := i, engines[i]
+					e.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
+						for k := 0; k < iters; k++ {
+							p.Advance(Duration(e.Rand().Int63n(int64(Microseconds(2)))) + 1)
+							dst := int(e.Rand().Int63n(int64(nsh)))
+							if dst == i {
+								continue
+							}
+							at := e.Now().Add(Microseconds(1) + Duration(e.Rand().Int63n(1000)))
+							g.Inject(e, engines[dst], at, func() {})
+						}
+					})
+				}
+				if err := g.Run(); err != nil {
+					t.Fatalf("shards=%d workers=%d: %v", nsh, workers, err)
+				}
+				return g.EventsExecuted(), g.Rounds(), g.Horizon()
+			}
+			be, br, bh := run(1)
+			if br < 1000 {
+				t.Fatalf("stress workload too tame: only %d windows", br)
+			}
+			for _, w := range []int{2, nsh, 2 * nsh} {
+				ev, ro, ho := run(w)
+				if ev != be || ro != br || ho != bh {
+					t.Fatalf("workers=%d diverged: events %d/%d rounds %d/%d horizon %v/%v",
+						w, ev, be, ro, br, ho, bh)
+				}
+			}
+		})
 	}
 }
 
