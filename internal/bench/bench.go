@@ -14,6 +14,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/mpi"
 	"repro/internal/netmodel"
+	"repro/internal/sim"
 )
 
 // Options tunes an experiment run.
@@ -189,7 +190,24 @@ func machineFor(n, ppn int) cluster.Machine {
 	return cluster.Machine{Nodes: nodes, CoresPerNode: coresPerNode, NUMAPerNode: numaPerNode}
 }
 
-// worldConfig assembles an mpi.Config.
+// sched is the event scheduler every world built by this package uses.
+// The zero value is the ladder queue (the default everywhere); the
+// casperbench -sched flag flips it to the heap oracle for differential
+// runs. Experiment output is byte-identical either way — the flag
+// exists so that identity is checkable, not because the choice matters
+// to results.
+var sched sim.SchedulerKind
+
+// SetScheduler selects the event scheduler for all subsequently built
+// worlds. Call once at startup, before any experiment runs.
+func SetScheduler(k sim.SchedulerKind) { sched = k }
+
+// Scheduler returns the scheduler selected by SetScheduler.
+func Scheduler() sim.SchedulerKind { return sched }
+
+// worldConfig assembles an mpi.Config. It is the single assembly point
+// for every world the bench experiments build, so process-wide knobs
+// (the scheduler choice) apply here.
 func worldConfig(net *netmodel.Params, n, ppn int, prog mpi.ProgressMode,
 	oversub bool, seed int64) mpi.Config {
 	return mpi.Config{
@@ -199,6 +217,7 @@ func worldConfig(net *netmodel.Params, n, ppn int, prog mpi.ProgressMode,
 		Net:                  net,
 		Seed:                 seed,
 		Progress:             prog,
+		Sched:                sched,
 		ThreadOversubscribed: oversub,
 	}
 }

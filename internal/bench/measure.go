@@ -2,6 +2,7 @@ package bench
 
 import (
 	"runtime"
+	"sort"
 	"time"
 
 	"repro/internal/mpi"
@@ -35,7 +36,12 @@ type Measurement struct {
 	ShardRounds    int64   `json:"shard_rounds,omitempty"` // window barriers (sharded runs only)
 	Mallocs        uint64  `json:"mallocs"`
 	AllocsPerEvent float64 `json:"allocs_per_event"`
-	CSV            string  `json:"-"` // rendered output, for bit-identity checks
+	// PeakQueueResidency is the deepest any engine's scheduler queue
+	// got during the run (max across worlds, engines, and shards) —
+	// the working-set size the ladder queue's bucket quantization is
+	// tuned around. See sim.Engine.PeakQueueResidency.
+	PeakQueueResidency int    `json:"peak_queue_residency"`
+	CSV                string `json:"-"` // rendered output, for bit-identity checks
 }
 
 // Measure runs the experiment once under o and returns its measurement.
@@ -46,21 +52,23 @@ func Measure(e Experiment, o Options) Measurement {
 	ev0 := mpi.TotalEventsExecuted()
 	in0 := mpi.TotalInlinedAdvances()
 	ro0 := mpi.TotalShardRounds()
+	mpi.TakePeakQueueResidency() // discard history; read the interval's peak below
 	t0 := time.Now()
 	res := e.Run(o)
 	wall := time.Since(t0).Seconds()
 	events := mpi.TotalEventsExecuted() - ev0
 	runtime.ReadMemStats(&after)
 	m := Measurement{
-		Experiment:    e.ID,
-		Parallel:      o.Parallel,
-		GOMAXPROCS:    runtime.GOMAXPROCS(0),
-		WallSeconds:   wall,
-		Events:        events,
-		InlinedEvents: mpi.TotalInlinedAdvances() - in0,
-		ShardRounds:   mpi.TotalShardRounds() - ro0,
-		Mallocs:       after.Mallocs - before.Mallocs,
-		CSV:           res.CSV(),
+		Experiment:         e.ID,
+		Parallel:           o.Parallel,
+		GOMAXPROCS:         runtime.GOMAXPROCS(0),
+		WallSeconds:        wall,
+		Events:             events,
+		InlinedEvents:      mpi.TotalInlinedAdvances() - in0,
+		ShardRounds:        mpi.TotalShardRounds() - ro0,
+		Mallocs:            after.Mallocs - before.Mallocs,
+		PeakQueueResidency: mpi.TakePeakQueueResidency(),
+		CSV:                res.CSV(),
 	}
 	if wall > 0 {
 		m.EventsPerSec = float64(events) / wall
@@ -69,4 +77,26 @@ func Measure(e Experiment, o Options) Measurement {
 		m.AllocsPerEvent = float64(m.Mallocs) / float64(events)
 	}
 	return m
+}
+
+// MeasureN runs the experiment count times and returns every round plus
+// the round with the median events/sec (the lower middle for even
+// counts). Repeating and taking the median is the defense against a
+// noisy measurement host: simulated results are bit-identical across
+// rounds — MeasureN panics if they are not — so rounds differ only in
+// wall-clock terms. The casperbench -benchcount flag drives this.
+func MeasureN(e Experiment, o Options, count int) (rounds []Measurement, median Measurement) {
+	if count < 1 {
+		count = 1
+	}
+	rounds = make([]Measurement, count)
+	for i := range rounds {
+		rounds[i] = Measure(e, o)
+		if rounds[i].CSV != rounds[0].CSV {
+			panic("bench: output differs between measurement rounds of " + e.ID)
+		}
+	}
+	byRate := append([]Measurement(nil), rounds...)
+	sort.Slice(byRate, func(i, j int) bool { return byRate[i].EventsPerSec < byRate[j].EventsPerSec })
+	return rounds, byRate[(count-1)/2]
 }

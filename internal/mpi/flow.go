@@ -204,8 +204,13 @@ func (w *World) waitDiagnostics() []string {
 	for i, e := range edges {
 		tedges[i] = trace.WaitEdge{From: e.from, To: e.to, Label: e.label}
 	}
+	states := make([]sim.SchedulerState, 0, 1)
+	for _, e := range w.allEngines() {
+		states = append(states, e.SchedulerState())
+	}
 	lines := []string{"wait-for graph:"}
 	lines = append(lines, trace.RenderWaitGraph(tedges)...)
+	lines = append(lines, trace.RenderSchedulerStates(states)...)
 	return lines
 }
 

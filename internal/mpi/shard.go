@@ -76,6 +76,7 @@ func newShardState(w *World) *shardState {
 	}
 	for i := range s.engines {
 		s.engines[i] = sim.New(w.cfg.Seed + int64(i))
+		s.engines[i].SetScheduler(w.cfg.Sched)
 		s.memos[i] = netmodel.NewMemo(w.cfg.Net)
 	}
 	for r := range s.shardOf {

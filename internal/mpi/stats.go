@@ -43,6 +43,13 @@ type WorldSummary struct {
 	BacklogDropped  int64
 	PeakQueueDepth  int // max over ranks of the AM pipeline high-water mark
 
+	// PeakQueueResidency is the max over engines of the event
+	// scheduler's pending-event high-water mark (see
+	// sim.Engine.PeakQueueResidency). Always measured; deliberately
+	// absent from String so historical summary lines stay bit-identical
+	// — bench JSON is where it is reported.
+	PeakQueueResidency int
+
 	// Recovery aggregates (see RankStats). All exactly zero unless the
 	// failure detector acted, keeping historical summary strings
 	// bit-identical.
@@ -101,6 +108,11 @@ func (w *World) Summary() WorldSummary {
 		s.ReplayedOps += st.ReplayedOps
 		if r.engine.peakDepth > s.PeakQueueDepth {
 			s.PeakQueueDepth = r.engine.peakDepth
+		}
+	}
+	for _, e := range w.allEngines() {
+		if p := e.PeakQueueResidency(); p > s.PeakQueueResidency {
+			s.PeakQueueResidency = p
 		}
 	}
 	if w.inj != nil {

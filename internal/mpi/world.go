@@ -39,6 +39,27 @@ var worldShardRounds atomic.Int64
 // completed sharded World.Run calls in this process.
 func TotalShardRounds() int64 { return worldShardRounds.Load() }
 
+// worldPeakResidency tracks the maximum scheduler-queue occupancy seen
+// by any engine of any completed World.Run since the last Take. Unlike
+// the cumulative counters above it is a high-water gauge, so the bench
+// harness reads it with swap-to-zero semantics rather than deltas.
+var worldPeakResidency atomic.Int64
+
+// TakePeakQueueResidency returns the highest scheduler-queue occupancy
+// recorded by any World.Run since the previous call, and resets the
+// gauge. The bench harness calls it once before a measured interval to
+// discard history and once after to read the interval's peak.
+func TakePeakQueueResidency() int { return int(worldPeakResidency.Swap(0)) }
+
+func notePeakResidency(p int) {
+	for {
+		old := worldPeakResidency.Load()
+		if int64(p) <= old || worldPeakResidency.CompareAndSwap(old, int64(p)) {
+			return
+		}
+	}
+}
+
 // ProgressMode selects the asynchronous progress baseline configured for
 // every rank of a world. Casper is not a mode: it is a library layered on
 // top of ProgressNone, which is the whole point of the paper.
@@ -112,6 +133,11 @@ type Config struct {
 	// bit-identical either way — this exists so tests can prove it and
 	// benchmarks can measure the difference.
 	NoSimFastPath bool
+	// Sched selects the engine's event-scheduler implementation. The
+	// zero value is the ladder queue; sim.SchedHeap selects the retained
+	// 4-ary heap, the differential-testing oracle. Runs are bit-identical
+	// either way (see sim.SchedulerKind).
+	Sched sim.SchedulerKind
 	// Shards > 0 enables sharded execution: the world's processes are
 	// partitioned across one simulation engine per node (ghosts co-located
 	// with the app ranks they serve), executed by up to Shards worker
@@ -215,6 +241,7 @@ func NewWorld(cfg Config) (*World, error) {
 		w.sharded = newShardState(w)
 	} else {
 		w.eng = sim.New(cfg.Seed)
+		w.eng.SetScheduler(cfg.Sched)
 	}
 	if cfg.NoSimFastPath {
 		for _, e := range w.allEngines() {
@@ -514,16 +541,20 @@ func (w *World) FailedCount() int { return w.failedCount }
 
 // Run executes the simulation to completion.
 func (w *World) Run() error {
+	var err error
 	if s := w.sharded; s != nil {
-		err := s.group.Run()
+		err = s.group.Run()
 		worldEvents.Add(s.group.EventsExecuted())
 		worldInlined.Add(s.group.InlinedAdvances())
 		worldShardRounds.Add(s.group.Rounds())
-		return err
+	} else {
+		err = w.eng.Run()
+		worldEvents.Add(w.eng.EventsExecuted())
+		worldInlined.Add(w.eng.InlinedAdvances())
 	}
-	err := w.eng.Run()
-	worldEvents.Add(w.eng.EventsExecuted())
-	worldInlined.Add(w.eng.InlinedAdvances())
+	for _, e := range w.allEngines() {
+		notePeakResidency(e.PeakQueueResidency())
+	}
 	return err
 }
 
@@ -675,6 +706,12 @@ type RankStats struct {
 	SnapshotsTaken int64 // epoch-close snapshots shipped by this ghost
 	SnapshotBytes  int64 // bytes of window state shipped to buddy ghosts
 	ReplayedOps    int64 // journaled RMA ops replayed during a restore
+
+	// PeakQueueResidency is the high-water mark of events pending in the
+	// scheduler of the engine this rank runs on (the world engine in
+	// serial mode, the rank's node shard in sharded mode) — the
+	// scheduler's working-set size. Filled on read by Stats.
+	PeakQueueResidency int
 }
 
 func newRank(w *World, id int) *Rank {
@@ -717,7 +754,11 @@ func (r *Rank) Engine() *sim.Engine { return r.eng }
 func (r *Rank) Proc() *sim.Proc { return r.proc }
 
 // Stats returns a copy of this rank's counters.
-func (r *Rank) Stats() RankStats { return r.stats }
+func (r *Rank) Stats() RankStats {
+	st := r.stats
+	st.PeakQueueResidency = r.eng.PeakQueueResidency()
+	return st
+}
 
 // Compute implements Env: application computation of duration d. An
 // oversubscribed progress thread (Thread(O)) polls on the same core, so

@@ -1,6 +1,10 @@
 package sim
 
-import "testing"
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
 
 // BenchmarkEventLoop measures the raw event-loop hot path: an engine
 // executing a long chain of timer events with a pair of processes
@@ -64,6 +68,53 @@ func BenchmarkEventLoop(b *testing.B) {
 		})
 		e.MustRun()
 	})
+}
+
+// BenchmarkScheduler is the isolated A/B for the event scheduler: a
+// classic hold-model churn (steady queue of W pending events, each
+// iteration pops the minimum and pushes a successor at a randomized
+// future offset) through the ladder and the heap oracle, at working-set
+// sizes bracketing what experiments actually hold (see
+// Engine.PeakQueueResidency). The offset distribution mirrors the cost
+// models: mostly sub-microsecond AM service steps, a tail of multi-us
+// transfers, a sliver of far-future housekeeping. The end-to-end number
+// that matters is BenchmarkEventLoop / BENCH_*.json; this one localizes
+// the scheduler's share.
+func BenchmarkScheduler(b *testing.B) {
+	for _, w := range []int{16, 64, 256} {
+		for _, impl := range []string{"ladder", "heap"} {
+			b.Run(fmt.Sprintf("%s/w%d", impl, w), func(b *testing.B) {
+				b.ReportAllocs()
+				var q schedQ
+				q.useHeap = impl == "heap"
+				rng := rand.New(rand.NewSource(1))
+				offs := make([]Time, 1024) // precomputed so rng cost stays out of the loop
+				for i := range offs {
+					switch rng.Intn(10) {
+					case 0, 1:
+						offs[i] = Time(rng.Intn(1 << ladShift))
+					case 2:
+						offs[i] = Time(rng.Int63n(40 * int64(Microsecond)))
+					default:
+						offs[i] = Time(rng.Int63n(int64(Microsecond)))
+					}
+				}
+				var now Time
+				seq := uint64(0)
+				for i := 0; i < w; i++ {
+					seq++
+					q.push(event{at: now + offs[seq&1023], seq: seq})
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					ev := q.pop()
+					now = ev.at
+					seq++
+					q.push(event{at: now + offs[seq&1023], seq: seq})
+				}
+			})
+		}
+	}
 }
 
 // BenchmarkInlineCompletion isolates the run-to-completion fast path for

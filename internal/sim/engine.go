@@ -99,9 +99,10 @@ type event struct {
 	bg   bool
 }
 
-// evKey is the heap-ordering key of an event. Keys live in their own
-// array so a sift comparison touches 16 bytes, not the whole event —
-// four keys share a cache line, which is most of the heap's speed.
+// evKey is the (at, seq) ordering key of an event — the total order
+// every scheduler implementation must pop in. In the heap, keys live
+// in their own array so a sift comparison touches 16 bytes, not the
+// whole event — four keys share a cache line.
 type evKey struct {
 	at  Time
 	seq uint64
@@ -127,9 +128,11 @@ type evPayload struct {
 // boxes an event into an interface, so push/pop allocate nothing beyond
 // amortized slice growth; the shallower tree halves the sift-down depth
 // of the binary version; and the split layout keeps comparisons inside
-// the dense key array. Sifts percolate a hole instead of swapping. This
-// is the hottest data structure in the repository — every simulated
-// microsecond of every experiment flows through it.
+// the dense key array. Sifts percolate a hole instead of swapping.
+// Formerly the engine's scheduler; today the ladder queue (ladder.go)
+// holds that job and the heap survives, unchanged, as the
+// differential-testing oracle behind -sched heap and the lockstep
+// fuzz in ladder_test.go.
 type eventHeap struct {
 	k []evKey
 	v []evPayload
@@ -158,9 +161,11 @@ func (h *eventHeap) push(ev event) {
 	k[i], v[i] = kk, vv
 }
 
-func (h *eventHeap) pop() event {
+// popInto removes the minimum, writing it to *dst (see ladder.popInto
+// for why the hot pop path writes through a pointer).
+func (h *eventHeap) popInto(dst *event) {
 	k, v := h.k, h.v
-	top := event{at: k[0].at, seq: k[0].seq,
+	*dst = event{at: k[0].at, seq: k[0].seq,
 		fn: v[0].fn, p: v[0].p, run: v[0].run, kind: v[0].kind, bg: v[0].bg}
 	n := len(k) - 1
 	k[0], v[0] = k[n], v[n]
@@ -169,7 +174,13 @@ func (h *eventHeap) pop() event {
 	if n > 1 {
 		h.siftDown()
 	}
-	return top
+}
+
+// pop is popInto for callers off the hot path (tests, the fuzz oracle).
+func (h *eventHeap) pop() event {
+	var ev event
+	h.popInto(&ev)
+	return ev
 }
 
 func (h *eventHeap) siftDown() {
@@ -201,13 +212,136 @@ func (h *eventHeap) siftDown() {
 	k[i], v[i] = kk, vv
 }
 
+// SchedulerKind selects the engine's event-scheduler implementation.
+type SchedulerKind uint8
+
+// Scheduler kinds. The ladder queue is the default; the heap survives
+// as the differential-testing oracle behind casperbench -sched and the
+// lockstep fuzz in ladder_test.go.
+const (
+	SchedLadder SchedulerKind = iota
+	SchedHeap
+)
+
+// String implements fmt.Stringer.
+func (k SchedulerKind) String() string {
+	if k == SchedHeap {
+		return "heap"
+	}
+	return "ladder"
+}
+
+// ParseScheduler converts a -sched flag value to a SchedulerKind.
+func ParseScheduler(s string) (SchedulerKind, error) {
+	switch s {
+	case "ladder":
+		return SchedLadder, nil
+	case "heap":
+		return SchedHeap, nil
+	}
+	return 0, fmt.Errorf("sim: unknown scheduler %q (want heap or ladder)", s)
+}
+
+// SchedulerState is a diagnostic snapshot of the event scheduler,
+// embedded in watchdog/stall/deadlock reports so a frozen-clock
+// diagnosis names the blocking structure, not just the timestamp.
+type SchedulerState struct {
+	Impl   string // "ladder" or "heap"
+	Depth  int    // pending events, next-event cache included
+	Peak   int    // lifetime high-water mark of Depth
+	SpanLo Time   // active ladder-bucket span start (ladder only)
+	SpanHi Time   // exclusive span end; zero when heap or bucket inactive
+}
+
+// String formats the snapshot as a single diagnostic line.
+func (s SchedulerState) String() string {
+	line := fmt.Sprintf("scheduler: %s depth=%d peak=%d", s.Impl, s.Depth, s.Peak)
+	if s.SpanHi > 0 {
+		line += fmt.Sprintf(" active=[%v,%v)", s.SpanLo, s.SpanHi)
+	}
+	return line
+}
+
+// schedQ is the engine's pending-event scheduler: the ladder queue by
+// default, with the 4-ary heap retained as the A/B differential-testing
+// oracle. schedQ itself keeps the residency bookkeeping and dispatches;
+// the next-event register the hot paths read (minTime on every inline
+// advance, minKey on every merge-pop and window-horizon computation) is
+// the ladder's own bottom slot, an O(1) field load either way.
+type schedQ struct {
+	n       int // pending events
+	peak    int // high-water mark of n (see Engine.PeakQueueResidency)
+	useHeap bool
+	lad     ladder
+	heap    eventHeap
+}
+
+func (q *schedQ) len() int { return q.n }
+
+// minTime returns the earliest scheduled time; the queue must be
+// non-empty.
+func (q *schedQ) minTime() Time {
+	if q.useHeap {
+		return q.heap.minTime()
+	}
+	return q.lad.minTime()
+}
+
+// minKey returns the (at, seq) key of the earliest event; the queue
+// must be non-empty.
+func (q *schedQ) minKey() evKey {
+	if q.useHeap {
+		return q.heap.k[0]
+	}
+	return q.lad.minKey()
+}
+
+// minEvent returns the earliest pending event without popping it, for
+// diagnostics; the queue must be non-empty.
+func (q *schedQ) minEvent() event {
+	if q.useHeap {
+		k, v := q.heap.k[0], q.heap.v[0]
+		return event{at: k.at, seq: k.seq, fn: v.fn, p: v.p, run: v.run, kind: v.kind, bg: v.bg}
+	}
+	return q.lad.minEvent()
+}
+
+func (q *schedQ) push(ev event) {
+	q.n++
+	if q.n > q.peak {
+		q.peak = q.n
+	}
+	if q.useHeap {
+		q.heap.push(ev)
+	} else {
+		q.lad.push(ev)
+	}
+}
+
+// popInto removes the minimum, writing it to *dst (see ladder.popInto).
+func (q *schedQ) popInto(dst *event) {
+	q.n--
+	if q.useHeap {
+		q.heap.popInto(dst)
+		return
+	}
+	q.lad.popInto(dst)
+}
+
+// pop is popInto for callers off the hot path (tests, the fuzz oracle).
+func (q *schedQ) pop() event {
+	var ev event
+	q.popInto(&ev)
+	return ev
+}
+
 // nowQueue is a FIFO of events scheduled at exactly the current virtual
 // time. Same-time events fire in scheduling (seq) order, which for a
-// FIFO is just insertion order — so they bypass the heap entirely: O(1)
-// push and pop with no sift traffic. Pop sites merge the FIFO head with
-// the heap minimum by (at, seq) (see Engine.nextEvent), which keeps the
-// interleaving with heap events exactly what a single heap would
-// produce.
+// FIFO is just insertion order — so they bypass the scheduler queue
+// entirely: O(1) push and pop with no insert/sift traffic. Pop sites
+// merge the FIFO head with the queue minimum by (at, seq) (see
+// Engine.nextEvent), which keeps the interleaving with queued events
+// exactly what a single totally-ordered structure would produce.
 type nowQueue struct {
 	a    []event
 	head int
@@ -224,23 +358,24 @@ func (q *nowQueue) headKey() evKey {
 
 func (q *nowQueue) push(ev event) { q.a = append(q.a, ev) }
 
-func (q *nowQueue) pop() event {
-	ev := q.a[q.head]
+// popInto removes the oldest queued event, writing it to *dst (see
+// ladder.popInto for why the hot pop path writes through a pointer).
+func (q *nowQueue) popInto(dst *event) {
+	*dst = q.a[q.head]
 	q.a[q.head] = event{} // clear fn/p/run so the slot retains nothing
 	q.head++
 	if q.head == len(q.a) {
 		q.a = q.a[:0]
 		q.head = 0
 	}
-	return ev
 }
 
 // Engine is a discrete-event simulator. Create one with New, spawn
 // processes with Spawn, then call Run.
 type Engine struct {
 	now    Time
-	events eventHeap
-	nowq   nowQueue // same-time events, run before the heap
+	events schedQ
+	nowq   nowQueue // same-time events, run before the scheduler
 	seq    uint64
 	yield  chan struct{}
 	procs  []*Proc
@@ -299,6 +434,48 @@ func New(seed int64) *Engine {
 	}
 }
 
+// SetScheduler selects the scheduler backing store. It must be called
+// before anything is scheduled — switching with events pending would
+// strand them in the other store.
+func (e *Engine) SetScheduler(kind SchedulerKind) {
+	if e.events.len() != 0 || e.executed != 0 {
+		panic("sim: SetScheduler on an engine already in use")
+	}
+	e.events.useHeap = kind == SchedHeap
+}
+
+// Scheduler reports the selected scheduler kind.
+func (e *Engine) Scheduler() SchedulerKind {
+	if e.events.useHeap {
+		return SchedHeap
+	}
+	return SchedLadder
+}
+
+// PeakQueueResidency returns the high-water mark of events pending in
+// the scheduler (next-event cache included) over the engine's
+// lifetime: the scheduler's working-set size, reported alongside
+// events/sec in bench output.
+func (e *Engine) PeakQueueResidency() int { return e.events.peak }
+
+// SchedulerState snapshots the scheduler for diagnostics.
+func (e *Engine) SchedulerState() SchedulerState {
+	s := SchedulerState{
+		Impl:  e.Scheduler().String(),
+		Depth: e.events.len(),
+		Peak:  e.events.peak,
+	}
+	if !e.events.useHeap && e.events.lad.len() > 0 {
+		s.SpanLo, s.SpanHi = e.events.lad.activeSpan()
+	}
+	return s
+}
+
+// schedulerLines renders the scheduler snapshot for error diagnostics.
+func (e *Engine) schedulerLines() []string {
+	return []string{e.SchedulerState().String()}
+}
+
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
 
@@ -306,13 +483,13 @@ func (e *Engine) Now() Time { return e.now }
 // used from simulation context (event callbacks or running processes).
 func (e *Engine) Rand() *rand.Rand { return e.rng }
 
-// schedule routes an event to the now-queue or the heap. Every event at
-// exactly the current time joins the FIFO: its entries are in seq order
-// by construction (seq is monotonic), and the pop sites merge the FIFO
-// head against the heap minimum by (at, seq), so the global execution
-// order is exactly what a single heap would produce while same-time
-// events skip the sift traffic entirely — the same-time event fusion of
-// the run-to-completion fast path.
+// schedule routes an event to the now-queue or the scheduler queue.
+// Every event at exactly the current time joins the FIFO: its entries
+// are in seq order by construction (seq is monotonic), and the pop
+// sites merge the FIFO head against the queue minimum by (at, seq), so
+// the global execution order is exactly what a single queue would
+// produce while same-time events skip the insert traffic entirely —
+// the same-time event fusion of the run-to-completion fast path.
 func (e *Engine) schedule(ev event) {
 	if ev.at == e.now && !e.fastOff {
 		e.nowq.push(ev)
@@ -321,22 +498,29 @@ func (e *Engine) schedule(ev event) {
 	e.events.push(ev)
 }
 
-// nextEvent pops the globally next event by (at, seq), merging the
-// now-queue with the heap. ok is false when both are empty. The
-// now-queue drains before the clock can advance: its entries carry
-// at == now, which no heap event can beat without an equal at and a
+// nextEvent pops the globally next event by (at, seq) into *ev,
+// merging the now-queue with the scheduler queue; it reports false,
+// leaving *ev untouched, when both are empty. The pointer form exists
+// for the hot loops (Run, runWindow, Proc.drive): writing through a
+// caller-owned slot instead of returning a 56-byte event by value
+// spares two struct copies per pop across non-inlined frames.
+// The now-queue drains before the clock can advance: its entries carry
+// at == now, which no queued event can beat without an equal at and a
 // smaller seq.
-func (e *Engine) nextEvent() (event, bool) {
+func (e *Engine) nextEvent(ev *event) bool {
 	if e.nowq.len() > 0 {
-		if e.events.len() > 0 && e.events.k[0].before(e.nowq.headKey()) {
-			return e.events.pop(), true
+		if e.events.len() > 0 && e.events.minKey().before(e.nowq.headKey()) {
+			e.events.popInto(ev)
+		} else {
+			e.nowq.popInto(ev)
 		}
-		return e.nowq.pop(), true
+		return true
 	}
 	if e.events.len() > 0 {
-		return e.events.pop(), true
+		e.events.popInto(ev)
+		return true
 	}
-	return event{}, false
+	return false
 }
 
 // At schedules fn to run at virtual time t. Scheduling in the past is an
@@ -366,9 +550,9 @@ func (e *Engine) AfterRun(d Duration, r Runner) { e.AtRun(e.now.Add(d), r) }
 
 // scheduleReserved schedules r at (t, seq) where seq was reserved at an
 // earlier instant (see Server.enqueue). The event goes straight to the
-// heap: the now-queue's FIFO ordering only holds for monotone seq, and
-// the heap orders arbitrary keys — the pop-side merge keeps the global
-// order exact either way.
+// scheduler queue: the now-queue's FIFO ordering only holds for
+// monotone seq, and the queue orders arbitrary keys — the pop-side
+// merge keeps the global order exact either way.
 func (e *Engine) scheduleReserved(t Time, seq uint64, r Runner) {
 	e.events.push(event{at: t, seq: seq, run: r, kind: evRun})
 }
@@ -378,7 +562,7 @@ func (e *Engine) scheduleReserved(t Time, seq uint64, r Runner) {
 // events (completion times monotone within the FIFO) reserve each
 // event's seq up front and schedule only the head via AtRunReserved;
 // the executed timeline is then identical to scheduling everything
-// eagerly, while the heap holds one resident event per FIFO.
+// eagerly, while the scheduler holds one resident event per FIFO.
 func (e *Engine) ReserveSeq() uint64 {
 	e.seq++
 	return e.seq
@@ -460,13 +644,14 @@ func (e *Engine) collectDiagnostics() []string {
 func (e *Engine) EventsExecuted() int64 { return e.executed }
 
 // InlinedAdvances returns how many Advance calls completed inline —
-// without parking, waking, or touching the event heap — under the
+// without parking, waking, or touching the scheduler queue — under the
 // run-to-completion fast path.
 func (e *Engine) InlinedAdvances() int64 { return e.inlined }
 
 // DisableFastPaths turns off the run-to-completion optimizations
 // (inline advance and same-time event fusion), forcing every event
-// through the heap and every Advance through a park/resume pair. Runs
+// through the scheduler queue and every Advance through a park/resume
+// pair. Runs
 // are bit-identical either way — the knob exists so tests can assert
 // exactly that, and so regressions can be bisected to the fast path.
 func (e *Engine) DisableFastPaths() { e.fastOff = true }
@@ -720,9 +905,9 @@ func (e *Engine) execOne(ev event) *Proc {
 // processes remain parked with no pending events, a *WatchdogError if a
 // SetWatchdog limit is exceeded, and nil otherwise.
 func (e *Engine) Run() error {
+	var ev event
 	for {
-		ev, ok := e.nextEvent()
-		if !ok {
+		if !e.nextEvent(&ev) {
 			break
 		}
 		if ev.bg && e.live <= 0 {
@@ -737,23 +922,23 @@ func (e *Engine) Run() error {
 		if e.maxEvents > 0 && e.executed >= e.maxEvents {
 			return &WatchdogError{Time: e.now, Events: e.executed,
 				Limit: fmt.Sprintf("event limit %d", e.maxEvents), Stuck: e.stuckProcs(),
-				Diagnostics: e.collectDiagnostics()}
+				Diagnostics: append(e.schedulerLines(), e.collectDiagnostics()...)}
 		}
 		if e.maxTime > 0 && e.now > e.maxTime {
 			return &WatchdogError{Time: e.now, Events: e.executed,
 				Limit: fmt.Sprintf("virtual-time limit %v", e.maxTime), Stuck: e.stuckProcs(),
-				Diagnostics: e.collectDiagnostics()}
+				Diagnostics: append(e.schedulerLines(), e.collectDiagnostics()...)}
 		}
 		if e.stallEvents > 0 && e.executed-e.lastAdvanceExec >= e.stallEvents {
 			return &WatchdogError{Time: e.now, Events: e.executed,
 				Limit: fmt.Sprintf("stalled: %d events with no time advance since %v",
 					e.stallEvents, e.lastAdvance),
-				Stuck: e.stuckProcs(), Diagnostics: e.collectDiagnostics()}
+				Stuck: e.stuckProcs(), Diagnostics: append(e.schedulerLines(), e.collectDiagnostics()...)}
 		}
 	}
 	if e.live > 0 {
 		d := &DeadlockError{Time: e.now, Stuck: e.stuckProcs(),
-			Diagnostics: e.collectDiagnostics()}
+			Diagnostics: append(e.schedulerLines(), e.collectDiagnostics()...)}
 		return d
 	}
 	return nil
@@ -791,22 +976,24 @@ func (e *Engine) nextDesc() string {
 	if !ok {
 		return "idle (no pending events)"
 	}
-	// Identify the event only when it is the heap minimum; a now-queue
-	// head is always a same-time follow-on, where the time alone tells
-	// the story.
-	if e.events.len() > 0 && e.events.k[0].at == t {
-		switch v := e.events.v[0]; v.kind {
-		case evResume:
-			return fmt.Sprintf("next event at %v (resume %s)", t, v.p.name)
-		case evStart:
-			return fmt.Sprintf("next event at %v (start %s)", t, v.p.name)
+	// Identify the event only when it is the scheduler minimum; a
+	// now-queue head is always a same-time follow-on, where the time
+	// alone tells the story.
+	if e.events.len() > 0 {
+		if v := e.events.minEvent(); v.at == t {
+			switch v.kind {
+			case evResume:
+				return fmt.Sprintf("next event at %v (resume %s)", t, v.p.name)
+			case evStart:
+				return fmt.Sprintf("next event at %v (start %s)", t, v.p.name)
+			}
 		}
 	}
 	return fmt.Sprintf("next event at %v", t)
 }
 
-// injectEvent pushes a cross-shard event straight onto the heap under a
-// sequence number reserved on the sending shard's engine. Only the
+// injectEvent pushes a cross-shard event straight onto the scheduler
+// queue under a sequence number reserved on the sending shard's engine. Only the
 // window coordinator calls it, between windows, when every shard is
 // quiescent.
 func (e *Engine) injectEvent(at Time, seq uint64, fn func(), r Runner) {
@@ -824,6 +1011,7 @@ func (e *Engine) injectEvent(at Time, seq uint64, fn func(), r Runner) {
 // virtual-time watchdogs are still honored here and reported through
 // e.wdErr.
 func (e *Engine) runWindow() {
+	var ev event
 	for {
 		if e.winCap > 0 && e.executed >= e.winCap {
 			// Group event budget nearly spent: return to the barrier so
@@ -835,7 +1023,7 @@ func (e *Engine) runWindow() {
 		if !ok || t >= e.limit {
 			return
 		}
-		ev, _ := e.nextEvent()
+		e.nextEvent(&ev)
 		if ev.bg && (e.live <= 0 || e.bgDiscard) {
 			continue
 		}
@@ -845,14 +1033,14 @@ func (e *Engine) runWindow() {
 		if e.maxTime > 0 && e.now > e.maxTime {
 			e.wdErr = &WatchdogError{Time: e.now, Events: e.executed,
 				Limit: fmt.Sprintf("virtual-time limit %v", e.maxTime), Stuck: e.stuckProcs(),
-				Diagnostics: e.collectDiagnostics()}
+				Diagnostics: append(e.schedulerLines(), e.collectDiagnostics()...)}
 			return
 		}
 		if e.stallEvents > 0 && e.executed-e.lastAdvanceExec >= e.stallEvents {
 			e.wdErr = &WatchdogError{Time: e.now, Events: e.executed,
 				Limit: fmt.Sprintf("stalled: %d events with no time advance since %v",
 					e.stallEvents, e.lastAdvance),
-				Stuck: e.stuckProcs(), Diagnostics: e.collectDiagnostics()}
+				Stuck: e.stuckProcs(), Diagnostics: append(e.schedulerLines(), e.collectDiagnostics()...)}
 			return
 		}
 	}

@@ -111,6 +111,7 @@ func (p *Proc) park(reason string) {
 // again when a process exits or the queues drain.
 func (p *Proc) drive() {
 	e := p.eng
+	var ev event
 	for {
 		if e.limited {
 			// Sharded execution: stop at the window boundary (or the
@@ -128,8 +129,7 @@ func (p *Proc) drive() {
 				return
 			}
 		}
-		ev, ok := e.nextEvent()
-		if !ok {
+		if !e.nextEvent(&ev) {
 			// Nothing can ever wake us: hand back to Run, which
 			// reports the deadlock (or finishes, after a kill).
 			e.yield <- struct{}{}

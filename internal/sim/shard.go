@@ -524,7 +524,8 @@ func (g *ShardGroup) mergedStuck() []string {
 
 func (g *ShardGroup) mergedDiagnostics() []string {
 	var out []string
-	for _, e := range g.engines {
+	for i, e := range g.engines {
+		out = append(out, fmt.Sprintf("shard %d %s", i, e.SchedulerState()))
 		out = append(out, e.collectDiagnostics()...)
 	}
 	return out
